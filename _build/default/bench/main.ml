@@ -1,0 +1,209 @@
+(* Micro-benchmarks (Bechamel), one group per experiment with a
+   timing-shaped component.  `dune exec bench/main.exe` prints ns/run for
+   each; the full experiment tables come from `dune exec bin/repro.exe --
+   all` (see EXPERIMENTS.md).
+
+   What is timed here:
+   - E1: the uncontended Acquire/Release pair on real hardware (this
+     package vs Stdlib.Mutex), plus the simulated pair including the whole
+     simulator machinery.
+   - E2: one cycle-accurate contended run on the 5-CPU timed driver.
+   - E3: one Signal-drain vs one Broadcast-drain over parked waiters.
+   - E7/E9: the model checker on an incident scenario and the conformance
+     checker over a long real trace.
+   - spec: parsing and printing the full interface. *)
+
+open Bechamel
+open Toolkit
+
+module S = Threads_multicore.Multicore.Sync
+
+let e1_multicore_pair =
+  let m = S.mutex () in
+  Test.make ~name:"e1/multicore acquire+release"
+    (Staged.stage (fun () ->
+         S.acquire m;
+         S.release m))
+
+let e1_stdlib_pair =
+  let m = Mutex.create () in
+  Test.make ~name:"e1/stdlib lock+unlock"
+    (Staged.stage (fun () ->
+         Mutex.lock m;
+         Mutex.unlock m))
+
+let e1_sim_pair =
+  (* one whole simulated run of 100 uncontended pairs *)
+  Test.make ~name:"e1/sim 100 pairs (full machine)"
+    (Staged.stage (fun () ->
+         ignore
+           (Taos_threads.Api.run ~seed:1 (fun sync ->
+                let module Sy =
+                  (val sync : Taos_threads.Sync_intf.SYNC
+                     with type thread = Threads_util.Tid.t)
+                in
+                let m = Sy.mutex () in
+                for _ = 1 to 100 do
+                  Sy.acquire m;
+                  Sy.release m
+                done))))
+
+let wake_run ~broadcast =
+  ignore
+    (Taos_threads.Api.run ~seed:3 (fun sync ->
+         let module Sy =
+           (val sync : Taos_threads.Sync_intf.SYNC
+              with type thread = Threads_util.Tid.t)
+         in
+         let m = Sy.mutex () in
+         let c = Sy.condition () in
+         let flag = ref false in
+         let waiter () =
+           Sy.with_lock m (fun () ->
+               while not !flag do
+                 Sy.wait m c
+               done)
+         in
+         let ws = List.init 8 (fun _ -> Sy.fork waiter) in
+         Sy.with_lock m (fun () -> flag := true);
+         if broadcast then Sy.broadcast c
+         else
+           for _ = 1 to 8 do
+             Sy.signal c
+           done;
+         Sy.broadcast c;
+         List.iter Sy.join ws))
+
+let e3_signal =
+  Test.make ~name:"e3/drain 8 waiters with signals"
+    (Staged.stage (fun () -> wake_run ~broadcast:false))
+
+let e3_broadcast =
+  Test.make ~name:"e3/drain 8 waiters with broadcast"
+    (Staged.stage (fun () -> wake_run ~broadcast:true))
+
+let e7_model_check =
+  let scen = Threads_harness.Scenarios.nelson () in
+  Test.make ~name:"e7/model-check nelson scenario"
+    (Staged.stage (fun () ->
+         ignore
+           (Threads_model.Checker.run Spec_core.Threads_interface.nelson_bug
+              scen)))
+
+let e9_trace =
+  let report =
+    Taos_threads.Api.run ~seed:5 (fun sync ->
+        let module Sy =
+          (val sync : Taos_threads.Sync_intf.SYNC
+             with type thread = Threads_util.Tid.t)
+        in
+        let m = Sy.mutex () in
+        let c = Sy.condition () in
+        let buf = ref 0 in
+        let consumer () =
+          for _ = 1 to 100 do
+            Sy.with_lock m (fun () ->
+                while !buf = 0 do
+                  Sy.wait m c
+                done;
+                decr buf)
+          done
+        in
+        let producer () =
+          for _ = 1 to 100 do
+            Sy.with_lock m (fun () ->
+                incr buf;
+                Sy.signal c)
+          done
+        in
+        let cs = List.init 2 (fun _ -> Sy.fork consumer) in
+        let ps = List.init 2 (fun _ -> Sy.fork producer) in
+        List.iter Sy.join (cs @ ps))
+  in
+  Firefly.Machine.trace report.Firefly.Interleave.machine
+
+let e9_conformance =
+  Test.make
+    ~name:
+      (Printf.sprintf "e9/conformance-check %d-event trace"
+         (List.length e9_trace))
+    (Staged.stage (fun () ->
+         ignore
+           (Threads_model.Conformance.check Spec_core.Threads_interface.final
+              e9_trace)))
+
+let spec_parse =
+  Test.make ~name:"spec/parse full interface"
+    (Staged.stage (fun () ->
+         ignore
+           (Spec_core.Parser.interface_of_string
+              Spec_core.Threads_interface.source)))
+
+let spec_print =
+  Test.make ~name:"spec/print full interface"
+    (Staged.stage (fun () ->
+         ignore (Spec_core.Printer.to_string Spec_core.Threads_interface.final)))
+
+let e2_timed_sim =
+  Test.make ~name:"e2/timed sim, 4 threads x 50 ops, 5 cpus"
+    (Staged.stage (fun () ->
+         ignore
+           (Taos_threads.Api.run_timed ~processors:5 ~seed:7 (fun sync ->
+                let module Sy =
+                  (val sync : Taos_threads.Sync_intf.SYNC
+                     with type thread = Threads_util.Tid.t)
+                in
+                let m = Sy.mutex () in
+                let worker () =
+                  for _ = 1 to 50 do
+                    Sy.acquire m;
+                    Firefly.Machine.Ops.tick 10;
+                    Sy.release m
+                  done
+                in
+                let ts = List.init 4 (fun _ -> Sy.fork worker) in
+                List.iter Sy.join ts))))
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let () =
+  let tests =
+    Test.make_grouped ~name:"threads-repro"
+      [
+        e1_multicore_pair;
+        e1_stdlib_pair;
+        e1_sim_pair;
+        e2_timed_sim;
+        e3_signal;
+        e3_broadcast;
+        e7_model_check;
+        e9_conformance;
+        spec_parse;
+        spec_print;
+      ]
+  in
+  let results = benchmark tests in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-55s %15s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | _ -> "n/a"
+      in
+      Printf.printf "%-55s %15s\n" name ns)
+    rows;
+  print_endline
+    "\n(ns per run; full experiment tables: dune exec bin/repro.exe -- all)"

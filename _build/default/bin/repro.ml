@@ -1,0 +1,139 @@
+(* repro — regenerate the paper's evaluation claims.
+
+   repro list            enumerate experiments
+   repro run E1 E7       run specific experiments
+   repro all             run everything
+   repro spec [--variant v]   print a spec variant (concrete syntax) *)
+
+open Cmdliner
+
+let setup () = Threads_harness.Registry.init ()
+
+let list_cmd =
+  let run () =
+    setup ();
+    List.iter
+      (fun (e : Threads_harness.Exp.t) ->
+        Printf.printf "%-4s %s\n     %s\n" e.id e.title e.claim)
+      (Threads_harness.Exp.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments and the claims they reproduce")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    setup ();
+    match Threads_harness.Exp.run_ids ids with
+    | [] -> ()
+    | unknown ->
+      Printf.eprintf "unknown experiment id(s): %s\n"
+        (String.concat ", " unknown);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one or more experiments (e.g. run E1 E7)")
+    Term.(const run $ ids)
+
+let all_cmd =
+  let run () =
+    setup ();
+    Threads_harness.Exp.run_all ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ const ())
+
+let spec_cmd =
+  let variant =
+    Arg.(value & opt string "final" & info [ "variant" ] ~docv:"VARIANT")
+  in
+  let run variant =
+    match List.assoc_opt variant Spec_core.Threads_interface.variants with
+    | Some iface -> print_string (Spec_core.Printer.to_string iface)
+    | None ->
+      Printf.eprintf "unknown variant %s; available: %s\n" variant
+        (String.concat ", "
+           (List.map fst Spec_core.Threads_interface.variants));
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:
+         "Print a specification variant (final, missing-mutex-guard, \
+          must-raise, nelson-bug) in the concrete syntax")
+    Term.(const run $ variant)
+
+let trace_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
+  in
+  let variant =
+    Arg.(value & opt string "final" & info [ "variant" ] ~docv:"VARIANT")
+  in
+  let run seed variant =
+    let iface =
+      match List.assoc_opt variant Spec_core.Threads_interface.variants with
+      | Some i -> i
+      | None ->
+        Printf.eprintf "unknown variant %s\n" variant;
+        exit 1
+    in
+    (* a workload touching every primitive *)
+    let report =
+      Taos_threads.Api.run ~seed (fun sync ->
+          let module S =
+            (val sync : Taos_threads.Sync_intf.SYNC
+               with type thread = Threads_util.Tid.t)
+          in
+          let m = S.mutex () in
+          let c = S.condition () in
+          let sem = S.semaphore () in
+          let flag = ref false in
+          let w =
+            S.fork (fun () ->
+                S.with_lock m (fun () ->
+                    while not !flag do
+                      S.wait m c
+                    done))
+          in
+          let aw =
+            S.fork (fun () ->
+                try S.with_lock m (fun () -> S.alert_wait m c)
+                with Taos_threads.Sync_intf.Alerted -> ())
+          in
+          S.p sem;
+          S.alert aw;
+          S.with_lock m (fun () -> flag := true);
+          S.broadcast c;
+          S.v sem;
+          ignore (S.test_alert ());
+          S.join w;
+          S.join aw)
+    in
+    let machine = report.Firefly.Interleave.machine in
+    List.iteri
+      (fun i e ->
+        Printf.printf "%3d  %s\n" i (Firefly.Trace.event_to_string e))
+      (Firefly.Machine.trace machine);
+    let rep = Threads_model.Conformance.check_machine iface machine in
+    Format.printf "---@.%a@." Threads_model.Conformance.pp_report rep;
+    if not (Threads_model.Conformance.ok rep) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a demo workload on the simulator, print its linearized trace \
+          and conformance-check it against a spec variant")
+    Term.(const run $ seed $ variant)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:
+        "Reproduction of Birrell, Guttag, Horning & Levin, Synchronization \
+         Primitives for a Multiprocessor: A Formal Specification (SRC-20, \
+         1987)"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/barrier.ml: Array List Printf Taos_threads Threads_multicore Threads_util

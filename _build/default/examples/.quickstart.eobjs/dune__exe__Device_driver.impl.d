@@ -1,0 +1,1 @@
+examples/device_driver.ml: Firefly List Printexc Printf Queue String Taos_threads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Firefly List Printf Queue Spec_core Taos_threads Threads_model Threads_multicore Threads_util

@@ -1,0 +1,1 @@
+examples/readers_writers.ml: Firefly List Printf Taos_threads Threads_util

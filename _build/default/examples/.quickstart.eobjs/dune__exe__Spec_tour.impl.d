@@ -1,0 +1,1 @@
+examples/spec_tour.ml: Format List Parser Printer Printf Proc Semantics Sort Spec_core Spec_obj State Term Threads_interface Threads_model Threads_util Value

@@ -1,0 +1,1 @@
+examples/timeout_alert.ml: Option Printf Taos_threads Threads_util

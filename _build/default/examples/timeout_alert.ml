@@ -1,0 +1,94 @@
+(* Alerts as polite interrupts: implementing a timeout around a blocking
+   operation, the paper's stated use case — "typically to implement things
+   such as timeouts and aborts ... the decision to make this request
+   happens at an abstraction level higher than that in which the thread is
+   blocked".
+
+   A worker blocks in AlertWait for a result that never comes; a watchdog
+   at a higher abstraction level knows only the worker's thread id and
+   alerts it.  The worker unwinds with Alerted, releasing the mutex on the
+   way out (the LOCK ... END / with_lock sugar guarantees that).
+
+     dune exec examples/timeout_alert.exe *)
+
+module Tid = Threads_util.Tid
+
+let scenario ~watchdog_fires sync =
+  let module S =
+    (val sync : Taos_threads.Sync_intf.SYNC with type thread = Tid.t)
+  in
+  let m = S.mutex () in
+  let result_ready = S.condition () in
+  let result = ref None in
+  let outcome = ref `Pending in
+  let worker =
+    S.fork (fun () ->
+        try
+          S.with_lock m (fun () ->
+              while !result = None do
+                S.alert_wait m result_ready
+              done;
+              outcome := `Got (Option.get !result))
+        with Taos_threads.Sync_intf.Alerted ->
+          (* Cleanup runs with the mutex already released by with_lock. *)
+          outcome := `Timed_out)
+  in
+  (if watchdog_fires then
+     (* Watchdog: knows nothing about m or result_ready — only the thread. *)
+     ignore (S.fork (fun () -> S.alert worker))
+   else
+     ignore
+       (S.fork (fun () ->
+            S.with_lock m (fun () ->
+                result := Some 7;
+                S.signal result_ready))));
+  S.join worker;
+  !outcome
+
+let () =
+  let timeouts = ref 0 and got = ref 0 and other = ref 0 in
+  for seed = 0 to 199 do
+    let r = ref `Pending in
+    ignore
+      (Taos_threads.Api.run ~seed (fun sync ->
+           r := scenario ~watchdog_fires:true sync));
+    match !r with
+    | `Timed_out -> incr timeouts
+    | `Got _ -> incr got
+    | `Pending -> incr other
+  done;
+  Printf.printf "watchdog fires:   %d timed out, %d got results, %d stuck\n"
+    !timeouts !got !other;
+  let timeouts = ref 0 and got = ref 0 and other = ref 0 in
+  for seed = 0 to 199 do
+    let r = ref `Pending in
+    ignore
+      (Taos_threads.Api.run ~seed (fun sync ->
+           r := scenario ~watchdog_fires:false sync));
+    match !r with
+    | `Timed_out -> incr timeouts
+    | `Got n ->
+      assert (n = 7);
+      incr got
+    | `Pending -> incr other
+  done;
+  Printf.printf "producer delivers: %d timed out, %d got results, %d stuck\n"
+    !timeouts !got !other;
+  (* TestAlert: polling for an alert without blocking. *)
+  ignore
+    (Taos_threads.Api.run ~seed:0 (fun sync ->
+         let module S =
+           (val sync : Taos_threads.Sync_intf.SYNC with type thread = Tid.t)
+         in
+         let w =
+           S.fork (fun () ->
+               (* poll until alerted, doing bounded work in between *)
+               let polls = ref 0 in
+               while not (S.test_alert ()) do
+                 incr polls;
+                 S.yield ()
+               done;
+               Printf.printf "poller: alert seen after %d polls\n" !polls)
+         in
+         S.alert w;
+         S.join w))

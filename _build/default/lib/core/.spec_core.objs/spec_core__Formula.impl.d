@@ -1,0 +1,1 @@
+lib/core/formula.ml: Format List String Term Value

@@ -1,0 +1,1 @@
+lib/core/lsl.ml: Format List Printf Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/lsl.mli: Format Value

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Array Format Formula Lexer List Option Proc Sort String Term Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/printer.ml: Format Formula List Printf Proc Sort String Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/proc.ml: Format Formula List Printf Sort Term Value

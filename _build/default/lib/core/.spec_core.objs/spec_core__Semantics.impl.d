@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Format Formula Int List Option Printf Proc Sort Spec_obj State String Term Threads_util Value

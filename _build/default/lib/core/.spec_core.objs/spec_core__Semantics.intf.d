@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Proc Spec_obj State Term Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/spec_obj.mli: Format Sort

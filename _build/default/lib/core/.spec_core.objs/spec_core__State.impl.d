@@ -1,0 +1,1 @@
+lib/core/state.ml: Format Hashtbl List Map Spec_obj Threads_util Value

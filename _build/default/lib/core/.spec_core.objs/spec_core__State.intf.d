@@ -1,0 +1,1 @@
+lib/core/state.mli: Format Spec_obj Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/term.ml: Format List Spec_obj State Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/term.mli: Format Spec_obj State Threads_util Value

@@ -1,0 +1,1 @@
+lib/core/threads_interface.ml: Formula Proc Sort Term Threads_util Value

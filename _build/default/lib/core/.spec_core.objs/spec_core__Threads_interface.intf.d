@@ -1,0 +1,1 @@
+lib/core/threads_interface.mli: Proc

@@ -1,0 +1,1 @@
+lib/core/value.ml: Bool Format Int Printf Sort Stdlib Threads_util

@@ -1,0 +1,110 @@
+type token =
+  | IDENT of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | EQUALS
+  | AMP
+  | BAR
+  | TILDE
+  | ARROW
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | EQUALS -> Format.pp_print_string ppf "'='"
+  | AMP -> Format.pp_print_string ppf "'&'"
+  | BAR -> Format.pp_print_string ppf "'|'"
+  | TILDE -> Format.pp_print_string ppf "'~'"
+  | ARROW -> Format.pp_print_string ppf "'=>'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "INTERFACE"; "TYPE"; "INITIALLY"; "VAR"; "EXCEPTION"; "ATOMIC";
+    "PROCEDURE"; "ACTION"; "COMPOSITION"; "OF"; "END"; "REQUIRES";
+    "MODIFIES"; "AT"; "MOST"; "WHEN"; "ENSURES"; "RETURNS"; "RAISES"; "SET";
+    "IN"; "SUBSET"; "UNCHANGED"; "SELF"; "NIL"; "TRUE"; "FALSE";
+  ]
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) else emit (IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if two = "=>" then begin
+        emit ARROW;
+        i := !i + 2
+      end
+      else begin
+        (match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | '[' -> emit LBRACKET
+        | ']' -> emit RBRACKET
+        | '{' -> emit LBRACE
+        | '}' -> emit RBRACE
+        | ',' -> emit COMMA
+        | ';' -> emit SEMI
+        | ':' -> emit COLON
+        | '=' -> emit EQUALS
+        | '&' -> emit AMP
+        | '|' -> emit BAR
+        | '~' -> emit TILDE
+        | _ ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+        incr i
+      end
+    end
+  done;
+  emit EOF;
+  List.rev !toks

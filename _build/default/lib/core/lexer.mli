@@ -1,0 +1,36 @@
+(** Lexer for the concrete specification syntax (an ASCII rendering of the
+    paper's notation; see [specs/threads.lspec]).
+
+    Comments run from ["--"] to end of line.  Upper-case words from the
+    fixed keyword set are keywords; every other alphanumeric word is an
+    identifier (so [insert], [delete], [available], [unavailable] are
+    identifiers resolved by the parser). *)
+
+type token =
+  | IDENT of string
+  | KW of string  (** one of the reserved upper-case keywords *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | EQUALS
+  | AMP
+  | BAR
+  | TILDE
+  | ARROW  (** ["=>"] *)
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Lex_error of string * int  (** message, line number *)
+
+(** [tokenize src] returns the token stream with line numbers. *)
+val tokenize : string -> (token * int) list
+
+(** The reserved keyword set. *)
+val keywords : string list

@@ -1,0 +1,217 @@
+module Tid = Threads_util.Tid
+
+type lsl_sort = L_bool | L_elem | L_set
+
+type term = Var of string * lsl_sort | App of string * term list
+
+type operator = { op_name : string; op_args : lsl_sort list; op_res : lsl_sort }
+
+type equation = { eq_name : string; left : term; right : term }
+
+type trait = { tr_name : string; tr_ops : operator list; tr_eqs : equation list }
+
+type model = string -> Value.t list -> Value.t
+
+let value_model name args =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf "value_model: %s applied to %d bad arguments" name
+         (List.length args))
+  in
+  match (name, args) with
+  | "empty", [] -> Value.Set Tid.Set.empty
+  | "insert", [ s; e ] -> Value.insert s e
+  | "delete", [ s; e ] -> Value.delete s e
+  | "member", [ e; s ] -> Value.Bool (Value.member e s)
+  | "subset", [ a; b ] -> Value.Bool (Value.subset a b)
+  | "union", [ Value.Set a; Value.Set b ] -> Value.Set (Tid.Set.union a b)
+  | "eq", [ a; b ] -> Value.Bool (Value.equal a b)
+  | "true", [] -> Value.Bool true
+  | "false", [] -> Value.Bool false
+  | "or", [ Value.Bool a; Value.Bool b ] -> Value.Bool (a || b)
+  | "and", [ Value.Bool a; Value.Bool b ] -> Value.Bool (a && b)
+  | "not", [ Value.Bool a ] -> Value.Bool (not a)
+  | "if", [ Value.Bool c; t; e ] -> if c then t else e
+  | _ -> bad ()
+
+let v name sort = Var (name, sort)
+let app name args = App (name, args)
+let s_ = v "s" L_set
+let t_ = v "t" L_set
+let e_ = v "e" L_elem
+let f_ = v "f" L_elem
+
+let set_trait =
+  {
+    tr_name = "Set of Thread";
+    tr_ops =
+      [
+        { op_name = "empty"; op_args = []; op_res = L_set };
+        { op_name = "insert"; op_args = [ L_set; L_elem ]; op_res = L_set };
+        { op_name = "delete"; op_args = [ L_set; L_elem ]; op_res = L_set };
+        { op_name = "member"; op_args = [ L_elem; L_set ]; op_res = L_bool };
+        { op_name = "subset"; op_args = [ L_set; L_set ]; op_res = L_bool };
+        { op_name = "union"; op_args = [ L_set; L_set ]; op_res = L_set };
+        { op_name = "eq"; op_args = [ L_elem; L_elem ]; op_res = L_bool };
+        { op_name = "true"; op_args = []; op_res = L_bool };
+        { op_name = "false"; op_args = []; op_res = L_bool };
+        { op_name = "or"; op_args = [ L_bool; L_bool ]; op_res = L_bool };
+        { op_name = "and"; op_args = [ L_bool; L_bool ]; op_res = L_bool };
+        { op_name = "not"; op_args = [ L_bool ]; op_res = L_bool };
+        { op_name = "if"; op_args = [ L_bool; L_set; L_set ]; op_res = L_set };
+      ];
+    tr_eqs =
+      [
+        (* generators: empty and insert; insert is idempotent and
+           commutes with itself *)
+        {
+          eq_name = "insert-idempotent";
+          left = app "insert" [ app "insert" [ s_; e_ ]; e_ ];
+          right = app "insert" [ s_; e_ ];
+        };
+        {
+          eq_name = "insert-commutes";
+          left = app "insert" [ app "insert" [ s_; e_ ]; f_ ];
+          right = app "insert" [ app "insert" [ s_; f_ ]; e_ ];
+        };
+        (* member *)
+        {
+          eq_name = "member-empty";
+          left = app "member" [ e_; app "empty" [] ];
+          right = app "false" [];
+        };
+        {
+          eq_name = "member-insert";
+          left = app "member" [ e_; app "insert" [ s_; f_ ] ];
+          right = app "or" [ app "eq" [ e_; f_ ]; app "member" [ e_; s_ ] ];
+        };
+        (* delete *)
+        {
+          eq_name = "delete-empty";
+          left = app "delete" [ app "empty" []; e_ ];
+          right = app "empty" [];
+        };
+        {
+          eq_name = "delete-insert";
+          left = app "delete" [ app "insert" [ s_; f_ ]; e_ ];
+          right =
+            app "if"
+              [
+                app "eq" [ e_; f_ ];
+                app "delete" [ s_; e_ ];
+                app "insert" [ app "delete" [ s_; e_ ]; f_ ];
+              ];
+        };
+        {
+          eq_name = "delete-then-member";
+          left = app "member" [ e_; app "delete" [ s_; e_ ] ];
+          right = app "false" [];
+        };
+        (* subset *)
+        {
+          eq_name = "subset-empty";
+          left = app "subset" [ app "empty" []; s_ ];
+          right = app "true" [];
+        };
+        {
+          eq_name = "subset-insert-left";
+          left = app "subset" [ app "insert" [ s_; e_ ]; t_ ];
+          right = app "and" [ app "member" [ e_; t_ ]; app "subset" [ s_; t_ ] ];
+        };
+        {
+          eq_name = "subset-reflexive";
+          left = app "subset" [ s_; s_ ];
+          right = app "true" [];
+        };
+        (* union *)
+        {
+          eq_name = "union-empty";
+          left = app "union" [ s_; app "empty" [] ];
+          right = s_;
+        };
+        {
+          eq_name = "union-insert";
+          left = app "union" [ s_; app "insert" [ t_; e_ ] ];
+          right = app "insert" [ app "union" [ s_; t_ ]; e_ ];
+        };
+      ];
+  }
+
+let rec term_vars = function
+  | Var (name, sort) -> [ (name, sort) ]
+  | App (_, args) -> List.concat_map term_vars args
+
+let vars_of eq = List.sort_uniq compare (term_vars eq.left @ term_vars eq.right)
+
+let rec pp_term ppf = function
+  | Var (name, _) -> Format.pp_print_string ppf name
+  | App (name, []) -> Format.pp_print_string ppf name
+  | App (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_term)
+      args
+
+let pp_equation ppf eq =
+  Format.fprintf ppf "%s: %a == %a" eq.eq_name pp_term eq.left pp_term eq.right
+
+(* Sort inference: returns the sort or an error string. *)
+let sort_check trait =
+  let op name =
+    List.find_opt (fun o -> o.op_name = name) trait.tr_ops
+  in
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let rec infer ctx = function
+    | Var (name, sort) -> (
+      match List.assoc_opt name !ctx with
+      | Some s ->
+        if s <> sort then begin
+          err "variable %s used at two sorts" name;
+          Some sort
+        end
+        else Some sort
+      | None ->
+        ctx := (name, sort) :: !ctx;
+        Some sort)
+    | App (name, args) -> (
+      match op name with
+      | None ->
+        err "unknown operator %s" name;
+        None
+      | Some o ->
+        if List.length args <> List.length o.op_args then
+          err "operator %s: arity %d, applied to %d" name
+            (List.length o.op_args) (List.length args)
+        else
+          List.iter2
+            (fun expected arg ->
+              match infer ctx arg with
+              | Some got when got <> expected ->
+                err "operator %s: argument sort mismatch" name
+              | _ -> ())
+            o.op_args args;
+        Some o.op_res)
+  in
+  List.iter
+    (fun eq ->
+      let ctx = ref [] in
+      let ls = infer ctx eq.left in
+      let rs = infer ctx eq.right in
+      match (ls, rs) with
+      | Some a, Some b when a <> b ->
+        err "equation %s: sides have different sorts" eq.eq_name
+      | _ -> ())
+    trait.tr_eqs;
+  List.rev !errs
+
+let rec eval model assignment = function
+  | Var (name, _) -> (
+    match List.assoc_opt name assignment with
+    | Some value -> value
+    | None -> invalid_arg (Printf.sprintf "Lsl.eval: unbound variable %s" name))
+  | App (name, args) -> model name (List.map (eval model assignment) args)
+
+let holds model assignment eq =
+  Value.equal (eval model assignment eq.left) (eval model assignment eq.right)

@@ -1,0 +1,40 @@
+(** Recursive-descent parser for the concrete specification syntax.
+
+    Grammar (informally; [*] = repetition, [?] = option):
+
+    {v
+    interface  ::= INTERFACE ident decl...
+    decl       ::= TYPE ident = sort INITIALLY literal
+                 | VAR ident : sort INITIALLY literal
+                 | EXCEPTION ident
+                 | ATOMIC? PROCEDURE ident (formals?) header-tail
+    formals    ::= formal [; formal]...        formal ::= VAR? ident : ident
+    header-tail::= [RETURNS (ident : ident)] [RAISES ident [, ident]...]
+                   [= COMPOSITION OF ident [; ident]... END]
+                   [REQUIRES formula] [MODIFIES AT MOST [names]]
+                   (cases | [ATOMIC ACTION ident cases]...)
+    cases      ::= case case...
+    case       ::= [RETURNS | RAISES ident] [WHEN formula] ENSURES formula
+    formula    ::= expr           -- coerced; '=>' right-assoc, '|' and '&'
+                                  -- left-assoc, then '=' / IN / SUBSET,
+                                  -- then '~', then primaries
+    primary    ::= TRUE | FALSE | SELF | NIL | {} | UNCHANGED [names]
+                 | insert(expr, expr) | delete(expr, expr)
+                 | available | unavailable | ident | ident_post | (expr)
+    v}
+
+    An identifier ending in [_post] denotes the post-state value; the
+    procedure's return formal denotes [RESULT]. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** [interface_of_string src] parses a complete interface.  Raises
+    {!Parse_error} or [Lexer.Lex_error]. *)
+val interface_of_string : string -> Proc.interface
+
+(** [formula_of_string ?ret src] parses a single formula; [ret] is the
+    return-formal name resolving to [RESULT], if any. *)
+val formula_of_string : ?ret:string -> string -> Formula.t
+
+(** [term_of_string ?ret src] parses a single term. *)
+val term_of_string : ?ret:string -> string -> Term.t

@@ -1,0 +1,111 @@
+let pp_sort ppf = function
+  | Sort.Thread -> Format.pp_print_string ppf "Thread"
+  | Sort.Bool -> Format.pp_print_string ppf "bool"
+  | Sort.Int -> Format.pp_print_string ppf "int"
+  | Sort.Thread_set -> Format.pp_print_string ppf "SET OF Thread"
+  | Sort.Semaphore -> Format.pp_print_string ppf "(available, unavailable)"
+
+let pp_literal ppf = function
+  | Value.Nil -> Format.pp_print_string ppf "NIL"
+  | Value.Bool true -> Format.pp_print_string ppf "TRUE"
+  | Value.Bool false -> Format.pp_print_string ppf "FALSE"
+  | Value.Set s when Threads_util.Tid.Set.is_empty s ->
+    Format.pp_print_string ppf "{}"
+  | v -> Value.pp ppf v
+
+let pp_formal ppf (f : Proc.formal) =
+  let mode = match f.f_mode with Proc.By_var -> "VAR " | Proc.By_value -> "" in
+  Format.fprintf ppf "%s%s : %s" mode f.f_name f.f_type
+
+let pp_case ppf (c : Proc.case) =
+  let prefix =
+    match c.c_outcome with
+    | Proc.Returns -> ""
+    | Proc.Raises e -> Printf.sprintf "RAISES %s " e
+  in
+  (* A RETURNS prefix is only needed to separate multi-case actions; we
+     print it whenever the case carries a WHEN that could otherwise merge
+     with a preceding case, i.e. always for Raises and never for plain
+     Returns — the parser defaults an unprefixed case to RETURNS. *)
+  (match c.c_when with
+  | Formula.True -> Format.fprintf ppf "  %sENSURES %a" prefix Formula.pp c.c_ensures
+  | w ->
+    Format.fprintf ppf "  %sWHEN %a@\n    ENSURES %a" prefix Formula.pp w
+      Formula.pp c.c_ensures)
+
+let pp_cases ppf cases =
+  (* When an action has several cases, unprefixed RETURNS cases need their
+     explicit RETURNS keyword so the parser can see the case boundary. *)
+  let many = List.length cases > 1 in
+  List.iteri
+    (fun i (c : Proc.case) ->
+      if i > 0 then Format.fprintf ppf "@\n";
+      match (many, c.c_outcome) with
+      | true, Proc.Returns ->
+        (match c.c_when with
+        | Formula.True ->
+          Format.fprintf ppf "  RETURNS ENSURES %a" Formula.pp c.c_ensures
+        | w ->
+          Format.fprintf ppf "  RETURNS WHEN %a@\n    ENSURES %a" Formula.pp w
+            Formula.pp c.c_ensures)
+      | _ -> pp_case ppf c)
+    cases
+
+let pp_proc _iface ppf (p : Proc.t) =
+  let atomic = match p.p_kind with Proc.Atomic _ -> true | _ -> false in
+  Format.fprintf ppf "@[<v>%sPROCEDURE %s(%a)"
+    (if atomic then "ATOMIC " else "")
+    p.p_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_formal)
+    p.p_formals;
+  (match p.p_returns with
+  | Some (name, sort) ->
+    Format.fprintf ppf " RETURNS (%s : %a)" name pp_sort sort
+  | None -> ());
+  if p.p_raises <> [] then
+    Format.fprintf ppf " RAISES %s" (String.concat ", " p.p_raises);
+  (match p.p_kind with
+  | Proc.Composition actions ->
+    Format.fprintf ppf " =@\n  COMPOSITION OF %s END"
+      (String.concat "; "
+         (List.map (fun (a : Proc.action) -> a.a_name) actions))
+  | Proc.Atomic _ -> ());
+  (match p.p_requires with
+  | Formula.True -> ()
+  | r -> Format.fprintf ppf "@\n  REQUIRES %a" Formula.pp r);
+  if p.p_modifies <> [] then
+    Format.fprintf ppf "@\n  MODIFIES AT MOST [%s]"
+      (String.concat ", " p.p_modifies);
+  (match p.p_kind with
+  | Proc.Atomic a -> Format.fprintf ppf "@\n%a" pp_cases a.a_cases
+  | Proc.Composition actions ->
+    List.iter
+      (fun (a : Proc.action) ->
+        Format.fprintf ppf "@\n  ATOMIC ACTION %s@\n  %a" a.a_name pp_cases
+          a.a_cases)
+      actions);
+  Format.fprintf ppf "@]"
+
+let pp_interface ppf (iface : Proc.interface) =
+  Format.fprintf ppf "@[<v>INTERFACE %s@\n" iface.i_name;
+  List.iter
+    (fun (td : Proc.type_decl) ->
+      Format.fprintf ppf "@\nTYPE %s = %a INITIALLY %a" td.t_name pp_sort
+        td.t_sort pp_literal td.t_init)
+    iface.i_types;
+  List.iter
+    (fun (name, sort, init) ->
+      Format.fprintf ppf "@\nVAR %s : %a INITIALLY %a" name pp_sort sort
+        pp_literal init)
+    iface.i_globals;
+  List.iter
+    (fun e -> Format.fprintf ppf "@\nEXCEPTION %s" e)
+    iface.i_exceptions;
+  List.iter
+    (fun p -> Format.fprintf ppf "@\n@\n%a" (pp_proc iface) p)
+    iface.i_procs;
+  Format.fprintf ppf "@]@\n"
+
+let to_string iface = Format.asprintf "%a" pp_interface iface

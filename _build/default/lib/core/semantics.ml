@@ -1,0 +1,196 @@
+module Tid = Threads_util.Tid
+
+type outcome = {
+  o_case : int;
+  o_outcome : Proc.outcome;
+  o_post : State.t;
+  o_result : Value.t option;
+}
+
+let bindings_of_args iface (proc : Proc.t) args =
+  let formals = proc.p_formals in
+  if List.length formals <> List.length args then
+    invalid_arg
+      (Printf.sprintf "%s: expected %d arguments, got %d" proc.p_name
+         (List.length formals) (List.length args));
+  List.map2
+    (fun (f : Proc.formal) arg ->
+      let sort = Proc.sort_of_type iface f.f_type in
+      match (f.f_mode, arg) with
+      | Proc.By_var, `Obj obj ->
+        if not (Sort.equal obj.Spec_obj.sort sort) then
+          invalid_arg
+            (Format.asprintf "%s: VAR %s expects sort %a, got object %a"
+               proc.p_name f.f_name Sort.pp sort Spec_obj.pp obj);
+        (f.f_name, Term.Obj obj)
+      | Proc.By_value, `Val v ->
+        if not (Value.has_sort v sort) then
+          invalid_arg
+            (Format.asprintf "%s: %s expects sort %a, got %a" proc.p_name
+               f.f_name Sort.pp sort Value.pp v);
+        (f.f_name, Term.Const v)
+      | Proc.By_var, `Val _ ->
+        invalid_arg
+          (Printf.sprintf "%s: VAR formal %s needs an object" proc.p_name
+             f.f_name)
+      | Proc.By_value, `Obj _ ->
+        invalid_arg
+          (Printf.sprintf "%s: by-value formal %s needs a value" proc.p_name
+             f.f_name))
+    formals args
+
+let requires_holds (proc : Proc.t) ~self ~bindings pre =
+  let env = Term.env ~self ~bindings ~pre () in
+  Formula.eval env proc.p_requires
+
+let enabled (action : Proc.action) ~self ~bindings pre =
+  let env = Term.env ~self ~bindings ~pre () in
+  List.concat
+    (List.mapi
+       (fun i (c : Proc.case) -> if Formula.eval env c.c_when then [ i ] else [])
+       action.a_cases)
+
+(* Objects the procedure may modify, resolved through the actual bindings.
+   Global names in MODIFIES (e.g. "alerts") resolve via Term.resolve. *)
+let modified_objects ~self ~bindings pre (proc : Proc.t) =
+  let env = Term.env ~self ~bindings ~pre () in
+  List.filter_map
+    (fun name ->
+      match Term.resolve env name with
+      | Term.Obj obj -> Some obj
+      | Term.Const _ -> None)
+    proc.p_modifies
+  |> List.sort_uniq Spec_obj.compare
+
+(* Thread identities that candidate set values may be built from: SELF,
+   every by-value thread argument, and the current members of the set. *)
+let relevant_threads ~self ~bindings v =
+  let from_bindings =
+    List.filter_map
+      (fun (_, b) ->
+        match b with Term.Const (Value.Thread t) -> Some t | _ -> None)
+      bindings
+  in
+  let members =
+    match v with Value.Set s -> Tid.Set.elements s | _ -> []
+  in
+  List.sort_uniq Tid.compare ((self :: from_bindings) @ members)
+
+let candidate_values ~self ~bindings (obj : Spec_obj.t) pre_value =
+  let dedup vs = List.sort_uniq Value.compare vs in
+  match obj.sort with
+  | Sort.Thread ->
+    dedup [ pre_value; Value.Nil; Value.Thread self ]
+  | Sort.Semaphore ->
+    [ Value.Sem Value.Available; Value.Sem Value.Unavailable ]
+  | Sort.Bool -> [ Value.Bool false; Value.Bool true ]
+  | Sort.Int -> [ pre_value ]
+  | Sort.Thread_set ->
+    let threads = relevant_threads ~self ~bindings pre_value in
+    let s = Value.as_set pre_value in
+    let with_each =
+      List.concat_map
+        (fun t ->
+          [ Value.Set (Tid.Set.add t s); Value.Set (Tid.Set.remove t s) ])
+        threads
+    in
+    dedup (pre_value :: Value.Set Tid.Set.empty :: with_each)
+
+let result_candidates (proc : Proc.t) =
+  match proc.p_returns with
+  | None -> [ None ]
+  | Some (_, Sort.Bool) -> [ Some (Value.Bool false); Some (Value.Bool true) ]
+  | Some (_, Sort.Int) -> [ Some (Value.Int 0) ]
+  | Some (_, sort) ->
+    invalid_arg
+      (Format.asprintf "%s: unsupported return sort %a" proc.p_name Sort.pp
+         sort)
+
+(* Cartesian product of candidate posts over the modified objects. *)
+let candidate_posts ~self ~bindings pre objs =
+  let rec go st = function
+    | [] -> [ st ]
+    | obj :: rest ->
+      let cands = candidate_values ~self ~bindings obj (State.get pre obj) in
+      List.concat_map (fun v -> go (State.set st obj v) rest) cands
+  in
+  go pre objs
+
+let outcomes iface (proc : Proc.t) (action : Proc.action) ~self ~bindings pre =
+  ignore iface;
+  let objs = modified_objects ~self ~bindings pre proc in
+  let posts = candidate_posts ~self ~bindings pre objs in
+  let results = result_candidates proc in
+  let pre_env = Term.env ~self ~bindings ~pre () in
+  let per_case i (c : Proc.case) =
+    if not (Formula.eval pre_env c.c_when) then []
+    else
+      List.concat_map
+        (fun post ->
+          List.filter_map
+            (fun result ->
+              let env = Term.env ~self ~bindings ~pre ~post ?result () in
+              if Formula.eval env c.c_ensures then
+                Some { o_case = i; o_outcome = c.c_outcome; o_post = post;
+                       o_result = result }
+              else None)
+            results)
+        posts
+  in
+  let all = List.concat (List.mapi per_case action.a_cases) in
+  (* Deduplicate transitions that several candidate constructions reach. *)
+  let cmp a b =
+    let c = Int.compare a.o_case b.o_case in
+    if c <> 0 then c
+    else
+      let c = State.compare a.o_post b.o_post in
+      if c <> 0 then c else Option.compare Value.compare a.o_result b.o_result
+  in
+  List.sort_uniq cmp all
+
+let check_transition iface (proc : Proc.t) (action : Proc.action) ~self
+    ~bindings ~pre ~post ~outcome ~result =
+  ignore iface;
+  (* Frame condition: objects outside MODIFIES must be unchanged. *)
+  let modifiable = modified_objects ~self ~bindings pre proc in
+  let frame_violation =
+    List.find_opt
+      (fun obj ->
+        (not (List.exists (Spec_obj.equal obj) modifiable))
+        && not (Value.equal (State.get pre obj) (State.get post obj)))
+      (State.objects pre)
+  in
+  match frame_violation with
+  | Some obj ->
+    Error
+      (Format.asprintf
+         "%s.%s by %a: modifies %a which is outside MODIFIES AT MOST"
+         proc.p_name action.a_name Tid.pp self Spec_obj.pp obj)
+  | None ->
+    let pre_env = Term.env ~self ~bindings ~pre () in
+    let env = Term.env ~self ~bindings ~pre ~post ?result () in
+    let matching =
+      List.concat
+        (List.mapi
+           (fun i (c : Proc.case) ->
+             if c.c_outcome = outcome && Formula.eval pre_env c.c_when
+                && Formula.eval env c.c_ensures
+             then [ i ]
+             else [])
+           action.a_cases)
+    in
+    (match matching with
+    | i :: _ -> Ok i
+    | [] ->
+      let describe (c : Proc.case) =
+        let when_ok = Formula.eval pre_env c.c_when in
+        let kind_ok = c.c_outcome = outcome in
+        Format.asprintf "[%a: when=%b kind-match=%b ensures=%b]"
+          Proc.pp_outcome c.c_outcome when_ok kind_ok
+          (if when_ok && kind_ok then Formula.eval env c.c_ensures else false)
+      in
+      Error
+        (Format.asprintf
+           "%s.%s by %a with outcome %a admitted by no case: %s" proc.p_name
+           action.a_name Tid.pp self Proc.pp_outcome outcome
+           (String.concat " " (List.map describe action.a_cases))))

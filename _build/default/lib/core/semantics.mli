@@ -1,0 +1,83 @@
+(** Executable semantics of interface specifications.
+
+    The clauses are declarative; to model-check client programs we need the
+    set of transitions an atomic action {e allows} from a given pre state.
+    [outcomes] enumerates them by generating candidate post states from
+    small per-sort pools (every value constructively expressible with the
+    interface's term language: insert/delete of relevant threads, the empty
+    set, NIL, SELF, the enum constants) and filtering by the ENSURES
+    formula.  The enumeration is sound by construction — every returned
+    outcome satisfies the clauses — and complete for any spec whose ENSURES
+    only uses this term language, which covers the whole Threads interface
+    and its historical variants.
+
+    [check_transition] is the converse direction, used by the trace
+    conformance checker: given an {e observed} (pre, post, outcome) triple
+    from an implementation run, decide whether some case of the action
+    admits it. *)
+
+type outcome = {
+  o_case : int;  (** index of the firing case within the action *)
+  o_outcome : Proc.outcome;
+  o_post : State.t;
+  o_result : Value.t option;
+}
+
+(** [bindings_of_args iface proc args] pairs the procedure's formals with
+    the supplied arguments, checking arity, VAR-ness (a [By_var] formal
+    needs an object of the right sort, a [By_value] formal a value) and
+    sorts.  Raises [Invalid_argument] on mismatch. *)
+val bindings_of_args :
+  Proc.interface ->
+  Proc.t ->
+  [ `Obj of Spec_obj.t | `Val of Value.t ] list ->
+  (string * Term.binding) list
+
+(** [requires_holds proc ~self ~bindings pre] evaluates the REQUIRES
+    clause.  A violated REQUIRES means the {e caller} is at fault; the spec
+    then allows anything. *)
+val requires_holds :
+  Proc.t ->
+  self:Threads_util.Tid.t ->
+  bindings:(string * Term.binding) list ->
+  State.t ->
+  bool
+
+(** [enabled action ~self ~bindings pre] — the indices of cases whose WHEN
+    guard holds in [pre].  Empty means the action must delay. *)
+val enabled :
+  Proc.action ->
+  self:Threads_util.Tid.t ->
+  bindings:(string * Term.binding) list ->
+  State.t ->
+  int list
+
+(** [outcomes iface proc action ~self ~bindings pre] enumerates all
+    spec-allowed transitions of [action] from [pre].  Objects not listed in
+    the procedure's MODIFIES keep their values. *)
+val outcomes :
+  Proc.interface ->
+  Proc.t ->
+  Proc.action ->
+  self:Threads_util.Tid.t ->
+  bindings:(string * Term.binding) list ->
+  State.t ->
+  outcome list
+
+(** [check_transition iface proc action ~self ~bindings ~pre ~post ~outcome
+    ~result] validates an observed transition: some case must (1) have the
+    matching outcome kind, (2) have its WHEN true in [pre], (3) have its
+    ENSURES true over (pre, post, result); additionally every object bound
+    in [pre] and not named by MODIFIES must be unchanged in [post].
+    Returns [Ok case_index] or [Error reason]. *)
+val check_transition :
+  Proc.interface ->
+  Proc.t ->
+  Proc.action ->
+  self:Threads_util.Tid.t ->
+  bindings:(string * Term.binding) list ->
+  pre:State.t ->
+  post:State.t ->
+  outcome:Proc.outcome ->
+  result:Value.t option ->
+  (int, string) result

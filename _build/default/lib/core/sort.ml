@@ -1,0 +1,12 @@
+type t = Thread | Bool | Int | Thread_set | Semaphore
+
+let equal = ( = )
+
+let to_string = function
+  | Thread -> "Thread"
+  | Bool -> "bool"
+  | Int -> "int"
+  | Thread_set -> "SET OF Thread"
+  | Semaphore -> "(available, unavailable)"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

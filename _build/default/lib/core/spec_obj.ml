@@ -1,0 +1,15 @@
+type t = { oid : int; name : string; sort : Sort.t }
+
+let counter = ref 0
+
+let create name sort =
+  incr counter;
+  { oid = !counter; name; sort }
+
+(* oid 0 is reserved for the global alerts set. *)
+let alerts = { oid = 0; name = "alerts"; sort = Sort.Thread_set }
+
+let is_alerts t = t.oid = 0
+let equal a b = a.oid = b.oid
+let compare a b = Int.compare a.oid b.oid
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.oid

@@ -1,0 +1,46 @@
+module Tid = Threads_util.Tid
+
+module M = Map.Make (Spec_obj)
+
+type t = Value.t M.t
+
+let empty = M.add Spec_obj.alerts (Value.Set Tid.Set.empty) M.empty
+
+let check obj v =
+  if not (Value.has_sort v obj.Spec_obj.sort) then
+    invalid_arg
+      (Format.asprintf "State: %a cannot hold %a" Spec_obj.pp obj Value.pp v)
+
+let add obj v st =
+  check obj v;
+  M.add obj v st
+
+let get st obj = M.find obj st
+
+let set st obj v =
+  if not (M.mem obj st) then
+    invalid_arg (Format.asprintf "State.set: unbound %a" Spec_obj.pp obj);
+  check obj v;
+  M.add obj v st
+
+let alerts st = Value.as_set (get st Spec_obj.alerts)
+let set_alerts st s = M.add Spec_obj.alerts (Value.Set s) st
+
+let objects st = List.map fst (M.bindings st)
+
+let equal = M.equal Value.equal
+let compare = M.compare Value.compare
+
+let hash st =
+  M.fold
+    (fun obj v acc ->
+      let vh = Hashtbl.hash (Value.to_string v) in
+      (acc * 1000003) lxor (obj.Spec_obj.oid * 65599) lxor vh)
+    st 5381
+
+let pp ppf st =
+  Format.fprintf ppf "@[<hv>";
+  M.iter
+    (fun obj v -> Format.fprintf ppf "%a = %a;@ " Spec_obj.pp obj Value.pp v)
+    st;
+  Format.fprintf ppf "@]"

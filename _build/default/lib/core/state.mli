@@ -1,0 +1,30 @@
+(** Abstract two-tier states: a persistent map from specification objects to
+    their values.
+
+    States are persistent so the model checker can branch cheaply; [hash]
+    and [equal] let it memoize visited states. *)
+
+type t
+
+(** The state binding nothing but [alerts = {}]. *)
+val empty : t
+
+(** [add obj v st] binds [obj]; the value must inhabit [obj.sort]. *)
+val add : Spec_obj.t -> Value.t -> t -> t
+
+(** [get st obj] — raises [Not_found] if unbound. *)
+val get : t -> Spec_obj.t -> Value.t
+
+(** [set st obj v] updates an existing binding (same sort check as [add]). *)
+val set : t -> Spec_obj.t -> Value.t -> t
+
+val alerts : t -> Threads_util.Tid.Set.t
+val set_alerts : t -> Threads_util.Tid.Set.t -> t
+
+(** [objects st] in increasing oid order ([alerts] first). *)
+val objects : t -> Spec_obj.t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

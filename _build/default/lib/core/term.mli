@@ -1,0 +1,57 @@
+(** Terms of the interface-specification language.
+
+    A term denotes a value in a (pre, post) state pair.  Following the
+    paper: an unsubscripted formal stands for its value in the pre state;
+    [x_post] for its value in the post state; [SELF] for the executing
+    thread; [RESULT] for the procedure's return formal (defined only in the
+    post state). *)
+
+type stage = Pre | Post
+
+type t =
+  | Self
+  | Nil_const
+  | Lit of Value.t
+  | Ref of string * stage  (** formal parameter or global, by name *)
+  | Result  (** the RETURNS formal, e.g. [b] in TestAlert *)
+  | Insert of t * t  (** [insert(set, thread)] *)
+  | Delete of t * t  (** [delete(set, thread)] *)
+  | Empty_set
+
+(** How a formal name resolves during evaluation: a VAR formal denotes a
+    mutable object looked up in the state; a by-value formal (or a literal
+    binding) denotes the same value in both stages. *)
+type binding = Obj of Spec_obj.t | Const of Value.t
+
+type env = {
+  self : Threads_util.Tid.t;
+  bindings : (string * binding) list;
+  pre : State.t;
+  post : State.t option;  (** [None] when evaluating a one-state predicate *)
+  result : Value.t option;
+}
+
+(** [env ~self ~bindings ~pre ()] builds an evaluation environment. *)
+val env :
+  self:Threads_util.Tid.t ->
+  bindings:(string * binding) list ->
+  pre:State.t ->
+  ?post:State.t ->
+  ?result:Value.t ->
+  unit ->
+  env
+
+exception Eval_error of string
+
+(** [eval env t] evaluates [t]; raises {!Eval_error} on unbound names, on
+    [Post]/[Result] references when the environment lacks a post
+    state/result, and on sort mismatches. *)
+val eval : env -> t -> Value.t
+
+(** [resolve env name] returns the binding of a formal or global name,
+    treating ["alerts"] as the distinguished global when not shadowed. *)
+val resolve : env -> string -> binding
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,315 @@
+open Proc
+
+(* Term and formula shorthands used only in this transcription. *)
+let pre name = Term.Ref (name, Term.Pre)
+let post name = Term.Ref (name, Term.Post)
+let self = Term.Self
+let nil = Term.Nil_const
+let available = Term.Lit (Value.Sem Value.Available)
+let unavailable = Term.Lit (Value.Sem Value.Unavailable)
+let ( === ) a b = Formula.Eq (a, b)
+let ( &&& ) a b = Formula.And (a, b)
+let ( ||| ) a b = Formula.Or (a, b)
+let mem x s = Formula.Member (x, s)
+let not_ f = Formula.Not f
+let unchanged names = Formula.Unchanged names
+let insert s x = Term.Insert (s, x)
+let delete s x = Term.Delete (s, x)
+
+let var name ty = { f_name = name; f_mode = By_var; f_type = ty }
+let byval name ty = { f_name = name; f_mode = By_value; f_type = ty }
+
+let returns_case ?(when_ = Formula.True) ensures =
+  { c_outcome = Returns; c_when = when_; c_ensures = ensures }
+
+let raises_case exc ~when_ ensures =
+  { c_outcome = Raises exc; c_when = when_; c_ensures = ensures }
+
+let atomic_proc name ~formals ?returns ?(raises = [])
+    ?(requires = Formula.True) ~modifies cases =
+  {
+    p_name = name;
+    p_formals = formals;
+    p_returns = returns;
+    p_raises = raises;
+    p_requires = requires;
+    p_modifies = modifies;
+    p_kind = Atomic { a_name = name; a_cases = cases };
+  }
+
+let composition name ~formals ?(raises = []) ?(requires = Formula.True)
+    ~modifies actions =
+  {
+    p_name = name;
+    p_formals = formals;
+    p_returns = None;
+    p_raises = raises;
+    p_requires = requires;
+    p_modifies = modifies;
+    p_kind = Composition actions;
+  }
+
+(* TYPE Mutex = Thread INITIALLY NIL, etc. *)
+let types =
+  [
+    { t_name = "Mutex"; t_sort = Sort.Thread; t_init = Value.Nil };
+    {
+      t_name = "Condition";
+      t_sort = Sort.Thread_set;
+      t_init = Value.Set Threads_util.Tid.Set.empty;
+    };
+    {
+      t_name = "Semaphore";
+      t_sort = Sort.Semaphore;
+      t_init = Value.Sem Value.Available;
+    };
+  ]
+
+let globals =
+  [ ("alerts", Sort.Thread_set, Value.Set Threads_util.Tid.Set.empty) ]
+
+let acquire =
+  atomic_proc "Acquire" ~formals:[ var "m" "Mutex" ] ~modifies:[ "m" ]
+    [ returns_case ~when_:(pre "m" === nil) (post "m" === self) ]
+
+let release =
+  atomic_proc "Release" ~formals:[ var "m" "Mutex" ]
+    ~requires:(pre "m" === self) ~modifies:[ "m" ]
+    [ returns_case (post "m" === nil) ]
+
+let wait_enqueue =
+  {
+    a_name = "Enqueue";
+    a_cases =
+      [
+        returns_case
+          ((post "c" === insert (pre "c") self) &&& (post "m" === nil));
+      ];
+  }
+
+let wait_resume =
+  {
+    a_name = "Resume";
+    a_cases =
+      [
+        returns_case
+          ~when_:((pre "m" === nil) &&& not_ (mem self (pre "c")))
+          ((post "m" === self) &&& unchanged [ "c" ]);
+      ];
+  }
+
+let wait =
+  composition "Wait"
+    ~formals:[ var "m" "Mutex"; var "c" "Condition" ]
+    ~requires:(pre "m" === self) ~modifies:[ "m"; "c" ]
+    [ wait_enqueue; wait_resume ]
+
+let signal =
+  atomic_proc "Signal" ~formals:[ var "c" "Condition" ] ~modifies:[ "c" ]
+    [
+      returns_case
+        ((post "c" === Term.Empty_set) ||| Formula.Subset (post "c", pre "c"));
+    ]
+
+let broadcast =
+  atomic_proc "Broadcast" ~formals:[ var "c" "Condition" ] ~modifies:[ "c" ]
+    [ returns_case (post "c" === Term.Empty_set) ]
+
+let p_proc =
+  atomic_proc "P" ~formals:[ var "s" "Semaphore" ] ~modifies:[ "s" ]
+    [ returns_case ~when_:(pre "s" === available) (post "s" === unavailable) ]
+
+let v_proc =
+  atomic_proc "V" ~formals:[ var "s" "Semaphore" ] ~modifies:[ "s" ]
+    [ returns_case (post "s" === available) ]
+
+let alert =
+  atomic_proc "Alert" ~formals:[ byval "t" "Thread" ] ~modifies:[ "alerts" ]
+    [ returns_case (post "alerts" === insert (pre "alerts") (pre "t")) ]
+
+let test_alert =
+  atomic_proc "TestAlert" ~formals:[]
+    ~returns:("b", Sort.Bool)
+    ~modifies:[ "alerts" ]
+    [
+      returns_case
+        (Formula.Iff (Formula.Truth Term.Result, mem self (pre "alerts"))
+        &&& (post "alerts" === delete (pre "alerts") self));
+    ]
+
+let alert_p ~must_raise =
+  let returns_when =
+    let base = pre "s" === available in
+    if must_raise then base &&& not_ (mem self (pre "alerts")) else base
+  in
+  atomic_proc "AlertP" ~formals:[ var "s" "Semaphore" ] ~raises:[ "Alerted" ]
+    ~modifies:[ "s"; "alerts" ]
+    [
+      returns_case ~when_:returns_when
+        ((post "s" === unavailable) &&& unchanged [ "alerts" ]);
+      raises_case "Alerted"
+        ~when_:(mem self (pre "alerts"))
+        ((post "alerts" === delete (pre "alerts") self) &&& unchanged [ "s" ]);
+    ]
+
+let alert_wait_enqueue =
+  {
+    a_name = "Enqueue";
+    a_cases =
+      [
+        returns_case
+          ((post "c" === insert (pre "c") self)
+          &&& (post "m" === nil)
+          &&& unchanged [ "alerts" ]);
+      ];
+  }
+
+(* The four historical shapes of AlertResume; see the .mli. *)
+let alert_resume ~mutex_guard ~must_raise ~unchanged_c =
+  let returns_when =
+    let base = (pre "m" === nil) &&& not_ (mem self (pre "c")) in
+    if must_raise then base &&& not_ (mem self (pre "alerts")) else base
+  in
+  let raises_when =
+    let alerted = mem self (pre "alerts") in
+    if mutex_guard then (pre "m" === nil) &&& alerted else alerted
+  in
+  let raises_ensures =
+    if unchanged_c then
+      (post "m" === self)
+      &&& (post "alerts" === delete (pre "alerts") self)
+      &&& unchanged [ "c" ]
+    else
+      (post "m" === self)
+      &&& (post "c" === delete (pre "c") self)
+      &&& (post "alerts" === delete (pre "alerts") self)
+  in
+  {
+    a_name = "AlertResume";
+    a_cases =
+      [
+        returns_case ~when_:returns_when
+          ((post "m" === self) &&& unchanged [ "c"; "alerts" ]);
+        raises_case "Alerted" ~when_:raises_when raises_ensures;
+      ];
+  }
+
+let alert_wait ~mutex_guard ~must_raise ~unchanged_c =
+  composition "AlertWait"
+    ~formals:[ var "m" "Mutex"; var "c" "Condition" ]
+    ~raises:[ "Alerted" ] ~requires:(pre "m" === self)
+    ~modifies:[ "m"; "c"; "alerts" ]
+    [ alert_wait_enqueue; alert_resume ~mutex_guard ~must_raise ~unchanged_c ]
+
+let make ~mutex_guard ~must_raise ~unchanged_c =
+  {
+    i_name = "Threads";
+    i_types = types;
+    i_globals = globals;
+    i_exceptions = [ "Alerted" ];
+    i_procs =
+      [
+        acquire;
+        release;
+        wait;
+        signal;
+        broadcast;
+        p_proc;
+        v_proc;
+        alert;
+        test_alert;
+        alert_p ~must_raise;
+        alert_wait ~mutex_guard ~must_raise ~unchanged_c;
+      ];
+  }
+
+let final = make ~mutex_guard:true ~must_raise:false ~unchanged_c:false
+
+let missing_mutex_guard =
+  make ~mutex_guard:false ~must_raise:false ~unchanged_c:false
+
+let must_raise = make ~mutex_guard:true ~must_raise:true ~unchanged_c:false
+let nelson_bug = make ~mutex_guard:true ~must_raise:false ~unchanged_c:true
+
+let variants =
+  [
+    ("final", final);
+    ("missing-mutex-guard", missing_mutex_guard);
+    ("must-raise", must_raise);
+    ("nelson-bug", nelson_bug);
+  ]
+
+let source =
+  {|INTERFACE Threads
+
+TYPE Mutex = Thread INITIALLY NIL
+TYPE Condition = SET OF Thread INITIALLY {}
+TYPE Semaphore = (available, unavailable) INITIALLY available
+
+VAR alerts : SET OF Thread INITIALLY {}
+EXCEPTION Alerted
+
+ATOMIC PROCEDURE Acquire(VAR m : Mutex)
+  MODIFIES AT MOST [m]
+  WHEN m = NIL
+  ENSURES m_post = SELF
+
+ATOMIC PROCEDURE Release(VAR m : Mutex)
+  REQUIRES m = SELF
+  MODIFIES AT MOST [m]
+  ENSURES m_post = NIL
+
+PROCEDURE Wait(VAR m : Mutex; VAR c : Condition) =
+  COMPOSITION OF Enqueue; Resume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [m, c]
+  ATOMIC ACTION Enqueue
+    ENSURES (c_post = insert(c, SELF)) & (m_post = NIL)
+  ATOMIC ACTION Resume
+    WHEN (m = NIL) & ~(SELF IN c)
+    ENSURES (m_post = SELF) & UNCHANGED [c]
+
+ATOMIC PROCEDURE Signal(VAR c : Condition)
+  MODIFIES AT MOST [c]
+  ENSURES (c_post = {}) | (c_post SUBSET c)
+
+ATOMIC PROCEDURE Broadcast(VAR c : Condition)
+  MODIFIES AT MOST [c]
+  ENSURES c_post = {}
+
+ATOMIC PROCEDURE P(VAR s : Semaphore)
+  MODIFIES AT MOST [s]
+  WHEN s = available
+  ENSURES s_post = unavailable
+
+ATOMIC PROCEDURE V(VAR s : Semaphore)
+  MODIFIES AT MOST [s]
+  ENSURES s_post = available
+
+ATOMIC PROCEDURE Alert(t : Thread)
+  MODIFIES AT MOST [alerts]
+  ENSURES alerts_post = insert(alerts, t)
+
+ATOMIC PROCEDURE TestAlert() RETURNS (b : bool)
+  MODIFIES AT MOST [alerts]
+  ENSURES (b = (SELF IN alerts)) & (alerts_post = delete(alerts, SELF))
+
+ATOMIC PROCEDURE AlertP(VAR s : Semaphore) RAISES Alerted
+  MODIFIES AT MOST [s, alerts]
+  RETURNS WHEN s = available
+    ENSURES (s_post = unavailable) & UNCHANGED [alerts]
+  RAISES Alerted WHEN SELF IN alerts
+    ENSURES (alerts_post = delete(alerts, SELF)) & UNCHANGED [s]
+
+PROCEDURE AlertWait(VAR m : Mutex; VAR c : Condition) RAISES Alerted =
+  COMPOSITION OF Enqueue; AlertResume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [m, c, alerts]
+  ATOMIC ACTION Enqueue
+    ENSURES (c_post = insert(c, SELF)) & (m_post = NIL) & UNCHANGED [alerts]
+  ATOMIC ACTION AlertResume
+    RETURNS WHEN (m = NIL) & ~(SELF IN c)
+      ENSURES (m_post = SELF) & UNCHANGED [c, alerts]
+    RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)
+      ENSURES (m_post = SELF) & (c_post = delete(c, SELF)) & (alerts_post = delete(alerts, SELF))
+|}

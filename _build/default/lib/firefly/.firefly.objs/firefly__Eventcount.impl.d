@@ -1,0 +1,1 @@
+lib/firefly/eventcount.ml: Machine

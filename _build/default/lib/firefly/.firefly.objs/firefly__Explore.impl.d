@@ -1,0 +1,1 @@
+lib/firefly/explore.ml: Interleave List Machine Threads_util

@@ -1,0 +1,1 @@
+lib/firefly/explore.mli: Interleave Machine Threads_util

@@ -1,0 +1,1 @@
+lib/firefly/interleave.ml: List Machine Sched Threads_util

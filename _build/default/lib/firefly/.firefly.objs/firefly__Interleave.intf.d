@@ -1,0 +1,1 @@
+lib/firefly/interleave.mli: Cost Machine Sched Threads_util

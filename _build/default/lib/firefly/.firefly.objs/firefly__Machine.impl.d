@@ -1,0 +1,1 @@
+lib/firefly/machine.ml: Array Cost Effect Hashtbl List Option Printf Threads_util Trace

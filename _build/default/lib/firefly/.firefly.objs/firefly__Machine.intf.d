@@ -1,0 +1,1 @@
+lib/firefly/machine.mli: Cost Threads_util Trace

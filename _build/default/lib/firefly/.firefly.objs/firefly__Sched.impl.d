@@ -1,0 +1,1 @@
+lib/firefly/sched.ml: List Machine Printf Threads_util

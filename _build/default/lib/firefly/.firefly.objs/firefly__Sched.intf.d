@@ -1,0 +1,1 @@
+lib/firefly/sched.mli: Machine Threads_util

@@ -1,0 +1,1 @@
+lib/firefly/sequencer.mli: Eventcount

@@ -1,0 +1,1 @@
+lib/firefly/timed.ml: Array Cost List Machine Threads_util

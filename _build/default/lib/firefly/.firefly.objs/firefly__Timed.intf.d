@@ -1,0 +1,1 @@
+lib/firefly/timed.mli: Cost Machine Threads_util

@@ -1,0 +1,1 @@
+lib/firefly/trace.ml: Format Option Threads_util

@@ -1,0 +1,1 @@
+lib/firefly/trace.mli: Format Threads_util

@@ -1,0 +1,6 @@
+type t = { addr : int }
+
+let create () = { addr = Machine.Ops.alloc 1 }
+let read ec = Machine.Ops.read ec.addr
+let advance ec = Machine.Ops.faa ec.addr 1 + 1
+let value_addr ec = ec.addr

@@ -1,0 +1,27 @@
+(** Eventcounts (Reed & Kanodia, SOSP 1977) on simulated memory.
+
+    An eventcount is an atomically-readable, monotonically-increasing
+    integer.  The Threads implementation uses one per condition variable to
+    close the wakeup-waiting race: Wait reads the count before releasing
+    the mutex, and Block compares it again under the spin-lock — an
+    intervening advance (from Signal/Broadcast) makes Block return
+    immediately instead of sleeping.
+
+    These functions perform machine effects and must run inside simulated
+    thread code. *)
+
+type t
+
+(** [create ()] allocates an eventcount initialized to 0. *)
+val create : unit -> t
+
+(** [read ec] — the current value (one atomic load). *)
+val read : t -> int
+
+(** [advance ec] atomically increments the count and returns the {e new}
+    value. *)
+val advance : t -> int
+
+(** [value_addr ec] — the underlying word address (for packages that
+    manipulate it under their own spin-lock). *)
+val value_addr : t -> int

@@ -1,0 +1,187 @@
+module Tid = Threads_util.Tid
+
+type outcome = {
+  verdict : Interleave.verdict;
+  machine : Machine.t;
+  schedule : Tid.t list;
+}
+
+type stats = {
+  terminal_runs : int;
+  truncated_runs : int;
+  total_steps : int;
+}
+
+(* Run [build] following [prefix]; afterwards keep stepping while the
+   choice is forced (a single runnable thread).  Returns the machine, the
+   full schedule actually taken, and either the terminal verdict or the
+   enabled set at the first real branch point. *)
+let run_prefix ~max_depth ~build prefix =
+  let m = Machine.create () in
+  build m;
+  let taken = ref [] in
+  let steps = ref 0 in
+  let do_step tid =
+    taken := tid :: !taken;
+    incr steps;
+    ignore (Machine.step m tid)
+  in
+  List.iter
+    (fun tid ->
+      match Machine.status m tid with
+      | Machine.Runnable -> do_step tid
+      | _ -> failwith "Explore: stale replay prefix")
+    prefix;
+  let rec drive () =
+    if !steps >= max_depth then `Truncated
+    else
+      match Machine.runnable m with
+      | [] ->
+        if Machine.live m then
+          `Terminal
+            (Interleave.Deadlock
+               (List.filter
+                  (fun tid -> Machine.status m tid = Machine.Blocked)
+                  (Machine.all_tids m)))
+        else `Terminal Interleave.Completed
+      | [ only ] ->
+        do_step only;
+        drive ()
+      | several -> `Branch several
+  in
+  let res = drive () in
+  (m, List.rev !taken, res, !steps)
+
+let explore ?(max_depth = 4000) ?(max_runs = 200_000) ~build check =
+  let terminal = ref 0 and truncated = ref 0 and steps = ref 0 in
+  let error = ref None in
+  (* DFS over schedule prefixes.  Each stack entry is a prefix to expand. *)
+  let stack = ref [ [] ] in
+  let runs = ref 0 in
+  while !error = None && !stack <> [] && !runs < max_runs do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+      stack := rest;
+      incr runs;
+      let m, schedule, res, nsteps = run_prefix ~max_depth ~build prefix in
+      steps := !steps + nsteps;
+      (match res with
+      | `Terminal verdict ->
+        incr terminal;
+        error := check { verdict; machine = m; schedule }
+      | `Truncated ->
+        incr truncated;
+        error := check { verdict = Interleave.Step_limit; machine = m; schedule }
+      | `Branch enabled ->
+        (* Expand: one new prefix per enabled thread.  [schedule] already
+           includes the forced steps taken after the prefix. *)
+        let children = List.map (fun tid -> schedule @ [ tid ]) enabled in
+        stack := List.rev children @ !stack)
+  done;
+  ( !error,
+    { terminal_runs = !terminal; truncated_runs = !truncated;
+      total_steps = !steps } )
+
+(* ---- delay-bounded (CHESS-style) search ----
+
+   The baseline scheduler is non-preemptive: the current thread runs until
+   it blocks or finishes; at such natural switch points every enabled
+   thread is a (free) choice.  Additionally up to [max_preemptions]
+   involuntary switches may be inserted anywhere.  Musuvathi & Qadeer's
+   observation holds here too: most concurrency bugs need only one or two
+   preemptions, so the polynomially-sized bounded space finds them where
+   plain DFS/BFS over all interleavings drowns. *)
+
+(* Replay [prefix] (a list of chosen tids, one per choice point), then
+   report the next choice point or the terminal verdict. *)
+let run_prefix_bounded ~max_depth ~max_preemptions ~build prefix =
+  let m = Machine.create () in
+  build m;
+  let steps = ref 0 in
+  let budget = ref max_preemptions in
+  let current = ref None in
+  let remaining = ref prefix in
+  let consumed = ref [] in
+  let do_step tid =
+    incr steps;
+    current := Some tid;
+    ignore (Machine.step m tid)
+  in
+  let rec drive () =
+    if !steps >= max_depth then `Truncated
+    else
+      match Machine.runnable m with
+      | [] ->
+        if Machine.live m then
+          `Terminal
+            (Interleave.Deadlock
+               (List.filter
+                  (fun tid -> Machine.status m tid = Machine.Blocked)
+                  (Machine.all_tids m)))
+        else `Terminal Interleave.Completed
+      | enabled -> (
+        let cur_enabled =
+          match !current with
+          | Some t when List.mem t enabled -> Some t
+          | _ -> None
+        in
+        let candidates =
+          match cur_enabled with
+          | Some t when !budget <= 0 -> [ t ]
+          | Some t -> t :: List.filter (fun x -> x <> t) enabled
+          | None -> enabled
+        in
+        match candidates with
+        | [ only ] ->
+          do_step only;
+          drive ()
+        | _ -> (
+          match !remaining with
+          | choice :: rest ->
+            remaining := rest;
+            consumed := choice :: !consumed;
+            if not (List.mem choice candidates) then
+              failwith "Explore: stale bounded replay prefix";
+            (match cur_enabled with
+            | Some t when choice <> t -> decr budget
+            | _ -> ());
+            do_step choice;
+            drive ()
+          | [] -> `Choice candidates))
+  in
+  let res = drive () in
+  (m, List.rev !consumed, res, !steps)
+
+let explore_bounded ?(max_preemptions = 2) ?(max_depth = 4000)
+    ?(max_runs = 200_000) ~build check =
+  let terminal = ref 0 and truncated = ref 0 and steps = ref 0 in
+  let error = ref None in
+  let stack = ref [ [] ] in
+  let runs = ref 0 in
+  while !error = None && !stack <> [] && !runs < max_runs do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+      stack := rest;
+      incr runs;
+      let m, choices, res, nsteps =
+        run_prefix_bounded ~max_depth ~max_preemptions ~build prefix
+      in
+      steps := !steps + nsteps;
+      (match res with
+      | `Terminal verdict ->
+        incr terminal;
+        error := check { verdict; machine = m; schedule = choices }
+      | `Truncated ->
+        incr truncated;
+        error :=
+          check { verdict = Interleave.Step_limit; machine = m;
+                  schedule = choices }
+      | `Choice candidates ->
+        let children = List.map (fun tid -> choices @ [ tid ]) candidates in
+        stack := children @ !stack)
+  done;
+  ( !error,
+    { terminal_runs = !terminal; truncated_runs = !truncated;
+      total_steps = !steps } )

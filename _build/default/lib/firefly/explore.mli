@@ -1,0 +1,53 @@
+(** Exhaustive schedule exploration by replay.
+
+    Continuations are one-shot, so the machine cannot be forked; instead
+    the program is re-run from scratch under each schedule prefix (the
+    standard replay technique of systematic concurrency testers).  The
+    state space is a tree of scheduling choices; [explore] walks it depth
+    first up to a depth bound.
+
+    Complexity is exponential in program length — use it on the small
+    scenarios of the model-checking experiments (2-4 threads, a handful of
+    synchronization operations each). *)
+
+type outcome = {
+  verdict : Interleave.verdict;
+  machine : Machine.t;
+  schedule : Threads_util.Tid.t list;  (** the choices that produced it *)
+}
+
+type stats = {
+  terminal_runs : int;  (** schedules explored to completion/deadlock *)
+  truncated_runs : int;  (** schedules cut off by the depth bound *)
+  total_steps : int;  (** instructions executed across all replays *)
+}
+
+(** [explore ?max_depth ?max_runs ~build check] re-runs [build] under
+    every schedule (up to the bounds), calling [check outcome] on each
+    terminal or truncated run.  If [check] returns [Some err] exploration
+    stops early and the error is returned with the stats.
+
+    Choice points with a single enabled thread do not branch. *)
+val explore :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  build:(Machine.t -> unit) ->
+  (outcome -> string option) ->
+  (string option * stats)
+
+(** [explore_bounded ?max_preemptions ...] — delay-bounded systematic
+    search in the style of CHESS (Musuvathi & Qadeer): the baseline
+    scheduler is non-preemptive (a thread runs until it blocks), switching
+    freely only at natural blocking points, plus at most [max_preemptions]
+    involuntary switches anywhere.  Most synchronization bugs need one or
+    two preemptions, so this polynomial space finds them where exhaustive
+    interleaving search drowns; it is the engine behind experiment E5's
+    minimal stranding schedule.  In [outcome], [schedule] holds only the
+    choice-point decisions, not every step. *)
+val explore_bounded :
+  ?max_preemptions:int ->
+  ?max_depth:int ->
+  ?max_runs:int ->
+  build:(Machine.t -> unit) ->
+  (outcome -> string option) ->
+  (string option * stats)

@@ -1,0 +1,42 @@
+(** Instruction-granularity interleaving driver.
+
+    Steps one runnable thread at a time under a {!Sched} strategy.  This is
+    the correctness driver: it models threads running at arbitrary relative
+    speeds, which is exactly the "programmer can reason as if there were as
+    many processors as threads" stance the paper takes. *)
+
+type verdict =
+  | Completed  (** every thread finished *)
+  | Deadlock of Threads_util.Tid.t list  (** the blocked threads *)
+  | Step_limit  (** the bound was hit with runnable threads remaining *)
+
+type report = {
+  verdict : verdict;
+  steps : int;
+  machine : Machine.t;  (** for trace/counter inspection *)
+}
+
+(** [run ?max_steps ?strategy build] creates a machine, passes it to
+    [build] (which spawns root threads via {!Machine.spawn_root}), then
+    steps until completion, deadlock or [max_steps] (default 1_000_000).
+
+    If a thread fails with an unexpected exception the failure is recorded
+    in the machine ({!Machine.failures}) and the run continues — tests
+    decide how strict to be. *)
+val run :
+  ?max_steps:int ->
+  ?strategy:Sched.t ->
+  ?seed:int ->
+  ?cost:Cost.t ->
+  (Machine.t -> unit) ->
+  report
+
+(** [run_main ?max_steps ?strategy ?seed body] — convenience wrapper
+    spawning a single root thread running [body]. *)
+val run_main :
+  ?max_steps:int ->
+  ?strategy:Sched.t ->
+  ?seed:int ->
+  ?cost:Cost.t ->
+  (unit -> unit) ->
+  report

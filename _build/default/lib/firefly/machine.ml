@@ -1,0 +1,415 @@
+module Tid = Threads_util.Tid
+
+type status = Runnable | Blocked | Finished | Failed of exn
+
+(* A memory operation bundled with trace emission; see Ops.mem_emit. *)
+type mem_op =
+  | M_none
+  | M_read of int
+  | M_tas of int
+  | M_clear of int
+  | M_faa of int * int
+
+type _ Effect.t +=
+  | E_read : int -> int Effect.t
+  | E_write : int * int -> unit Effect.t
+  | E_tas : int -> bool Effect.t
+  | E_clear : int -> unit Effect.t
+  | E_faa : int * int -> int Effect.t
+  | E_alloc : int -> int Effect.t
+  | E_self : Tid.t Effect.t
+  | E_spawn : (unit -> unit) * int option -> Tid.t Effect.t
+  | E_join : Tid.t -> unit Effect.t
+  | E_deschedule_and_clear : int -> unit Effect.t
+  | E_ready : Tid.t -> unit Effect.t
+  | E_emit : Trace.event -> unit Effect.t
+  | E_tick : int -> unit Effect.t
+  | E_counter : string -> unit Effect.t
+  | E_rand : int -> int Effect.t
+  | E_set_priority : int -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_mem_emit : mem_op * (int -> Trace.event option) -> int Effect.t
+
+module Ops = struct
+  let read a = Effect.perform (E_read a)
+  let write a v = Effect.perform (E_write (a, v))
+  let tas a = Effect.perform (E_tas a)
+  let clear a = Effect.perform (E_clear a)
+  let faa a n = Effect.perform (E_faa (a, n))
+  let alloc n = Effect.perform (E_alloc n)
+  let self () = Effect.perform E_self
+  let spawn ?priority f = Effect.perform (E_spawn (f, priority))
+  let join t = Effect.perform (E_join t)
+  let deschedule_and_clear a = Effect.perform (E_deschedule_and_clear a)
+  let ready t = Effect.perform (E_ready t)
+  let emit ev = Effect.perform (E_emit ev)
+  let tick n = Effect.perform (E_tick n)
+  let incr_counter name = Effect.perform (E_counter name)
+  let rand n = Effect.perform (E_rand n)
+  let set_priority p = Effect.perform (E_set_priority p)
+  let yield () = Effect.perform E_yield
+  let mem_emit op thunk = Effect.perform (E_mem_emit (op, thunk))
+end
+
+(* A paused thread: either not yet started, stopped at an effect awaiting
+   its execution, or holding a unit continuation to resume (after a
+   deschedule/join/yield). *)
+type paused =
+  | Fresh of (unit -> unit)
+  | At_effect : 'a Effect.t * ('a, unit) Effect.Deep.continuation -> paused
+  | Resume_unit of (unit, unit) Effect.Deep.continuation
+  | Gone  (** finished or failed; no continuation *)
+
+type thread = {
+  tid : Tid.t;
+  mutable status : status;
+  mutable paused : paused;
+  mutable prio : int;
+  intr : bool;  (* interrupt context: must never block *)
+  mutable wakeup_pending : bool;  (* Saltzer's wakeup-waiting switch *)
+  mutable instr : int;
+  mutable cycles : int;
+  mutable joiners : Tid.t list;
+}
+
+type t = {
+  cost : Cost.t;
+  rng : Threads_util.Rng.t;
+  mutable mem : int array;
+  mutable mem_used : int;
+  mutable threads : thread array;  (* index = tid *)
+  mutable nthreads : int;
+  mutable trace_rev : Trace.event list;
+  counters : (string, int) Hashtbl.t;
+  mutable total_instr : int;
+  mutable total_cycles : int;
+}
+
+let dummy_thread =
+  {
+    tid = -1;
+    status = Finished;
+    paused = Gone;
+    prio = 0;
+    intr = false;
+    wakeup_pending = false;
+    instr = 0;
+    cycles = 0;
+    joiners = [];
+  }
+
+let create ?(seed = 0) ?(cost = Cost.default) () =
+  {
+    cost;
+    rng = Threads_util.Rng.create seed;
+    mem = Array.make 1024 0;
+    mem_used = 0;
+    threads = Array.make 16 dummy_thread;
+    nthreads = 0;
+    trace_rev = [];
+    counters = Hashtbl.create 16;
+    total_instr = 0;
+    total_cycles = 0;
+  }
+
+let thread m tid =
+  if tid < 0 || tid >= m.nthreads then
+    failwith (Printf.sprintf "Machine: unknown thread t%d" tid);
+  m.threads.(tid)
+
+let add_thread m ?(priority = 0) ?(interrupt = false) f =
+  let tid = m.nthreads in
+  if tid >= Array.length m.threads then begin
+    let bigger = Array.make (2 * Array.length m.threads) dummy_thread in
+    Array.blit m.threads 0 bigger 0 m.nthreads;
+    m.threads <- bigger
+  end;
+  m.threads.(tid) <-
+    {
+      tid;
+      status = Runnable;
+      paused = Fresh f;
+      prio = priority;
+      intr = interrupt;
+      wakeup_pending = false;
+      instr = 0;
+      cycles = 0;
+      joiners = [];
+    };
+  m.nthreads <- tid + 1;
+  tid
+
+let spawn_root ?priority ?interrupt m f = add_thread m ?priority ?interrupt f
+
+let is_interrupt m tid = (thread m tid).intr
+
+let status m tid = (thread m tid).status
+let priority m tid = (thread m tid).prio
+
+let runnable m =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (if m.threads.(i).status = Runnable then i :: acc else acc)
+  in
+  go (m.nthreads - 1) []
+
+let live m =
+  let rec go i =
+    i < m.nthreads
+    &&
+    match m.threads.(i).status with
+    | Runnable | Blocked -> true
+    | Finished | Failed _ -> go (i + 1)
+  in
+  go 0
+
+let deadlocked m = live m && runnable m = []
+
+let alloc m n =
+  let base = m.mem_used in
+  if base + n > Array.length m.mem then begin
+    let bigger = Array.make (max (2 * Array.length m.mem) (base + n)) 0 in
+    Array.blit m.mem 0 bigger 0 m.mem_used;
+    m.mem <- bigger
+  end;
+  m.mem_used <- base + n;
+  base
+
+let wake m tid =
+  let t = thread m tid in
+  match t.status with
+  | Blocked -> t.status <- Runnable
+  | Runnable ->
+    (* The target has decided to block but its deschedule instruction has
+       not executed yet; record the wakeup so the deschedule becomes a
+       no-op (Saltzer's wakeup-waiting switch).  The Taos package never
+       hits this path (it only readies threads found descheduled under the
+       spin-lock); the cooperative backend relies on it. *)
+    t.wakeup_pending <- true
+  | Finished | Failed _ ->
+    failwith (Printf.sprintf "Machine.ready: t%d already finished" tid)
+
+let finish m t st =
+  t.status <- st;
+  t.paused <- Gone;
+  List.iter (fun j -> wake m j) t.joiners;
+  t.joiners <- []
+
+(* Run the body of [t] until its next effect, capturing the continuation.
+   Used both to start a fresh thread and to resume one (via [continue]). *)
+let handler m t =
+  {
+    Effect.Deep.retc = (fun () -> finish m t Finished);
+    exnc = (fun e -> finish m t (Failed e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_read _ | E_write _ | E_tas _ | E_clear _ | E_faa _ | E_alloc _
+        | E_self | E_spawn _ | E_join _ | E_deschedule_and_clear _
+        | E_ready _ | E_emit _ | E_tick _ | E_counter _ | E_rand _
+        | E_set_priority _ | E_yield | E_mem_emit _ ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              t.paused <- At_effect (eff, k))
+        | _ -> None);
+  }
+
+let start m t f = Effect.Deep.match_with f () (handler m t)
+
+let resume (type a) _m _t (k : (a, unit) Effect.Deep.continuation) (v : a) =
+  (* The handler is deep, so subsequent effects are caught again. *)
+  Effect.Deep.continue k v
+
+let incr_counter m name n =
+  let cur = Option.value (Hashtbl.find_opt m.counters name) ~default:0 in
+  Hashtbl.replace m.counters name (cur + n)
+
+(* Execute the pending effect of [t]: mutate machine state, compute the
+   result, account costs, and continue the thread to its next effect.
+   Returns the cycle cost. *)
+let execute_effect (type a) m t (eff : a Effect.t)
+    (k : (a, unit) Effect.Deep.continuation) : int =
+  let c = m.cost in
+  let charge ~instr cost =
+    if instr then begin
+      t.instr <- t.instr + 1;
+      m.total_instr <- m.total_instr + 1
+    end;
+    t.cycles <- t.cycles + cost;
+    m.total_cycles <- m.total_cycles + cost;
+    cost
+  in
+  match eff with
+  | E_read a ->
+    let v = m.mem.(a) in
+    let cost = charge ~instr:true c.read in
+    resume m t k v;
+    cost
+  | E_write (a, v) ->
+    m.mem.(a) <- v;
+    let cost = charge ~instr:true c.write in
+    resume m t k ();
+    cost
+  | E_tas a ->
+    let old = m.mem.(a) in
+    m.mem.(a) <- 1;
+    let cost = charge ~instr:true c.tas in
+    resume m t k (old <> 0);
+    cost
+  | E_clear a ->
+    m.mem.(a) <- 0;
+    let cost = charge ~instr:true c.write in
+    resume m t k ();
+    cost
+  | E_faa (a, n) ->
+    let old = m.mem.(a) in
+    m.mem.(a) <- old + n;
+    let cost = charge ~instr:true c.faa in
+    resume m t k old;
+    cost
+  | E_alloc n ->
+    let base = alloc m n in
+    resume m t k base;
+    0
+  | E_self ->
+    resume m t k t.tid;
+    0
+  | E_spawn (f, prio) ->
+    let tid = add_thread m ?priority:prio f in
+    resume m t k tid;
+    0
+  | E_join target ->
+    let tgt = thread m target in
+    (match tgt.status with
+    | Finished | Failed _ ->
+      resume m t k ();
+      0
+    | Runnable | Blocked when t.intr ->
+      finish m t (Failed (Failure "interrupt routine attempted to block"));
+      0
+    | Runnable | Blocked ->
+      tgt.joiners <- t.tid :: tgt.joiners;
+      t.status <- Blocked;
+      (* E_join has result type unit, so the continuation is reusable as a
+         unit resume. *)
+      t.paused <- Resume_unit k;
+      0)
+  | E_deschedule_and_clear a ->
+    if t.intr then begin
+      (* An interrupt routine may not block; it dies without releasing the
+         spin-lock, which is exactly the disaster the paper warns about. *)
+      finish m t (Failed (Failure "interrupt routine attempted to block"));
+      charge ~instr:true c.write
+    end
+    else if t.wakeup_pending then begin
+      t.wakeup_pending <- false;
+      m.mem.(a) <- 0;
+      t.paused <- Resume_unit k;
+      charge ~instr:true c.write
+    end
+    else begin
+      m.mem.(a) <- 0;
+      t.status <- Blocked;
+      t.paused <- Resume_unit k;
+      charge ~instr:true c.write
+    end
+  | E_ready target ->
+    wake m target;
+    resume m t k ();
+    0
+  | E_emit ev ->
+    m.trace_rev <- ev :: m.trace_rev;
+    resume m t k ();
+    0
+  | E_tick n ->
+    let cost = charge ~instr:true n in
+    resume m t k ();
+    cost
+  | E_counter name ->
+    incr_counter m name 1;
+    resume m t k ();
+    0
+  | E_rand n ->
+    let v = Threads_util.Rng.int m.rng n in
+    resume m t k v;
+    0
+  | E_set_priority p ->
+    t.prio <- p;
+    resume m t k ();
+    0
+  | E_yield ->
+    resume m t k ();
+    0
+  | E_mem_emit (op, thunk) ->
+    let result, cost =
+      match op with
+      | M_none -> (0, charge ~instr:true c.write)
+      | M_read a -> (m.mem.(a), charge ~instr:true c.read)
+      | M_tas a ->
+        let old = m.mem.(a) in
+        m.mem.(a) <- 1;
+        (old, charge ~instr:true c.tas)
+      | M_clear a ->
+        m.mem.(a) <- 0;
+        (0, charge ~instr:true c.write)
+      | M_faa (a, n) ->
+        let old = m.mem.(a) in
+        m.mem.(a) <- old + n;
+        (old, charge ~instr:true c.faa)
+    in
+    (* The thunk runs inside this step, atomically with the memory
+       operation; it may update package bookkeeping but must not perform
+       machine effects. *)
+    (match thunk result with
+    | Some ev -> m.trace_rev <- ev :: m.trace_rev
+    | None -> ());
+    resume m t k result;
+    cost
+  | _ -> failwith "Machine: unknown effect"
+
+let step m tid =
+  let t = thread m tid in
+  if t.status <> Runnable then
+    failwith (Printf.sprintf "Machine.step: t%d is not runnable" tid);
+  match t.paused with
+  | Fresh f ->
+    t.paused <- Gone;
+    start m t f;
+    0
+  | Resume_unit k ->
+    t.paused <- Gone;
+    resume m t k ();
+    0
+  | At_effect (eff, k) ->
+    t.paused <- Gone;
+    execute_effect m t eff k
+  | Gone -> failwith (Printf.sprintf "Machine.step: t%d has no continuation" tid)
+
+let trace m = List.rev m.trace_rev
+
+let counters m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.counters []
+  |> List.sort compare
+
+let counter m name =
+  Option.value (Hashtbl.find_opt m.counters name) ~default:0
+
+let instructions m tid = (thread m tid).instr
+let total_instructions m = m.total_instr
+let total_cycles m = m.total_cycles
+
+let failures m =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (match m.threads.(i).status with
+        | Failed e -> (i, e) :: acc
+        | Runnable | Blocked | Finished -> acc)
+  in
+  go (m.nthreads - 1) []
+
+let all_tids m = List.init m.nthreads (fun i -> i)
+let cost_model m = m.cost

@@ -1,0 +1,152 @@
+(** The simulated shared-memory multiprocessor.
+
+    Thread code is ordinary OCaml performing the effects in {!module:Ops};
+    the machine holds one one-shot continuation per thread and executes
+    exactly one effect ("instruction") per {!step}, so drivers control the
+    interleaving at memory-access granularity.  Computation between effects
+    is invisible to other threads, which matches a real machine: only
+    loads, stores and interlocked operations are ordering points.
+
+    The machine itself is single-threaded OCaml; concurrency is simulated,
+    which is what makes runs deterministic and schedules replayable. *)
+
+type t
+
+type status =
+  | Runnable
+  | Blocked  (** descheduled; waiting for {!Ops.ready} *)
+  | Finished
+  | Failed of exn  (** the thread body escaped with an exception *)
+
+(** Memory operation for {!Ops.mem_emit}.  [M_none] is a plain store-class
+    instruction with no memory visible effect (used when the action commits
+    purely in package bookkeeping, e.g. Alert's pending-set insert).
+    Results: [M_read] the value, [M_tas] the {e old} word (0 = acquired),
+    [M_faa] the old value, others 0. *)
+type mem_op =
+  | M_none
+  | M_read of int
+  | M_tas of int
+  | M_clear of int
+  | M_faa of int * int
+
+(** {1 Effects performed by thread code} *)
+
+module Ops : sig
+  val read : int -> int
+  val write : int -> int -> unit
+
+  (** [tas a] atomically reads word [a] and sets it to 1; returns [true]
+      iff it was already 1 (i.e. the lock was held). *)
+  val tas : int -> bool
+
+  (** [clear a] sets word [a] to 0. *)
+  val clear : int -> unit
+
+  (** [faa a n] fetch-and-add: returns the old value. *)
+  val faa : int -> int -> int
+
+  (** [alloc n] allocates [n] fresh zeroed words, returning the base
+      address. *)
+  val alloc : int -> int
+
+  val self : unit -> Threads_util.Tid.t
+
+  (** [spawn ?priority f] creates a new runnable thread. *)
+  val spawn : ?priority:int -> (unit -> unit) -> Threads_util.Tid.t
+
+  (** [join t] blocks until thread [t] finishes (normally or by failure). *)
+  val join : Threads_util.Tid.t -> unit
+
+  (** [deschedule_and_clear a] atomically blocks the calling thread and
+      clears word [a] — the kernel "sleep releasing the spin-lock"
+      primitive the Nub's deschedule path relies on. *)
+  val deschedule_and_clear : int -> unit
+
+  (** [ready t] moves a blocked thread to the runnable set.  If [t] is
+      runnable but about to deschedule, the wakeup is remembered and the
+      deschedule becomes a no-op (Saltzer's wakeup-waiting switch); readying
+      a finished thread is a simulation error ([Failure]). *)
+  val ready : Threads_util.Tid.t -> unit
+
+  (** [emit ev] appends a trace event at the current instant (zero cost). *)
+  val emit : Trace.event -> unit
+
+  (** [tick n] consumes [n] cycles of pure computation (one instruction). *)
+  val tick : int -> unit
+
+  (** [incr_counter name] bumps a named statistic (zero cost). *)
+  val incr_counter : string -> unit
+
+  (** [rand n] draws uniformly from [\[0, n)] using the machine's seeded
+      generator (zero cost, deterministic). *)
+  val rand : int -> int
+
+  val set_priority : int -> unit
+
+  (** [yield ()] is a zero-cost scheduling point (used by the cooperative
+      uniprocessor backend). *)
+  val yield : unit -> unit
+
+  (** [mem_emit op thunk] performs memory operation [op] and, atomically in
+      the same instruction, calls [thunk result]; if it returns an event it
+      is appended to the trace at that instant.  This is how the Threads
+      package linearizes its visible atomic actions: the event cannot be
+      separated from the memory operation that commits the action.  The
+      thunk may update package-level bookkeeping but must not perform
+      machine effects. *)
+  val mem_emit : mem_op -> (int -> Trace.event option) -> int
+end
+
+(** {1 Construction and stepping (driver side)} *)
+
+(** [create ?seed ?cost ()] — [seed] feeds {!Ops.rand}. *)
+val create : ?seed:int -> ?cost:Cost.t -> unit -> t
+
+(** [spawn_root m f] adds a thread before (or during) a run; same semantics
+    as {!Ops.spawn} but callable from outside.  A thread spawned with
+    [~interrupt:true] models an interrupt routine: any attempt to block
+    (deschedule or join) fails it with [Failure] — interrupt routines
+    cannot protect shared data with a mutex, the paper's stated reason
+    semaphores exist. *)
+val spawn_root :
+  ?priority:int -> ?interrupt:bool -> t -> (unit -> unit) -> Threads_util.Tid.t
+
+val is_interrupt : t -> Threads_util.Tid.t -> bool
+
+val status : t -> Threads_util.Tid.t -> status
+val priority : t -> Threads_util.Tid.t -> int
+
+(** [runnable m] — runnable thread ids, ascending. *)
+val runnable : t -> Threads_util.Tid.t list
+
+(** [live m] is true while some thread is runnable or blocked. *)
+val live : t -> bool
+
+(** [deadlocked m] — no runnable thread but some blocked thread. *)
+val deadlocked : t -> bool
+
+(** [step m t] executes thread [t]'s pending instruction and runs it up to
+    its next effect.  Returns the cycle cost of the executed instruction.
+    Raises [Failure] if [t] is not runnable. *)
+val step : t -> Threads_util.Tid.t -> int
+
+(** {1 Observation} *)
+
+val trace : t -> Trace.event list
+(** in emission order *)
+
+val counters : t -> (string * int) list
+val counter : t -> string -> int
+
+(** [instructions m t] — instructions executed by thread [t]. *)
+val instructions : t -> Threads_util.Tid.t -> int
+
+val total_instructions : t -> int
+val total_cycles : t -> int
+
+(** [failures m] — threads that escaped with exceptions. *)
+val failures : t -> (Threads_util.Tid.t * exn) list
+
+val all_tids : t -> Threads_util.Tid.t list
+val cost_model : t -> Cost.t

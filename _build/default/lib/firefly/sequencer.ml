@@ -1,0 +1,10 @@
+type t = { addr : int }
+
+let create () = { addr = Machine.Ops.alloc 1 }
+let ticket s = Machine.Ops.faa s.addr 1
+
+let rec await ec target =
+  if Eventcount.read ec < target then begin
+    Machine.Ops.yield ();
+    await ec target
+  end

@@ -1,0 +1,18 @@
+(** Sequencers — the companion abstraction of eventcounts (Reed & Kanodia):
+    a ticket dispenser assigning a total order to concurrent requests.
+    [ticket] atomically returns the next integer.  Combined with an
+    eventcount, a sequencer yields a FIFO lock: take a ticket, then await
+    the eventcount reaching it.  Provided for completeness of the
+    eventcount substrate; exercised in tests and the quickstart example. *)
+
+type t
+
+val create : unit -> t
+
+(** [ticket s] — atomically draws the next ticket (0, 1, 2, ...). *)
+val ticket : t -> int
+
+(** [await ec target] — spin until eventcount [ec] reaches [target].
+    Each poll costs one read; yields between polls so other simulated
+    threads progress. *)
+val await : Eventcount.t -> int -> unit

@@ -1,0 +1,46 @@
+(** Execution traces of specification-level atomic actions.
+
+    The Threads implementation emits one event at each linearization point
+    (the instant its visible atomic action takes effect, e.g. the
+    successful test-and-set inside Acquire).  The conformance checker in
+    [threads_model] replays the event sequence against the formal
+    specification.
+
+    Events are deliberately implementation-flavoured: they carry only what
+    the implementation knows at the linearization instant.  In particular
+    [removed] records the threads a Signal/Broadcast abstractly removed
+    from the condition — the queued threads it moved to the ready pool
+    {e plus} the threads then inside the wakeup-waiting race window, which
+    its eventcount increment also releases (the paper: "Signal will
+    unblock all such threads"). *)
+
+type arg =
+  | Obj of int  (** a synchronization object, by implementation id *)
+  | Thr of Threads_util.Tid.t  (** a by-value thread argument *)
+
+type outcome = Ret | Raise of string
+
+type event = {
+  proc : string;  (** procedure name, e.g. "Wait" *)
+  action : string;  (** atomic action, e.g. "Enqueue"; = [proc] if atomic *)
+  self : Threads_util.Tid.t;
+  args : (string * arg) list;  (** formal name -> argument *)
+  outcome : outcome;
+  result_bool : bool option;  (** TestAlert's return value *)
+  removed : Threads_util.Tid.t list;
+      (** Signal/Broadcast: threads abstractly removed from the condition *)
+}
+
+val make :
+  proc:string ->
+  ?action:string ->
+  self:Threads_util.Tid.t ->
+  args:(string * arg) list ->
+  ?outcome:outcome ->
+  ?result_bool:bool ->
+  ?removed:Threads_util.Tid.t list ->
+  unit ->
+  event
+
+val pp_event : Format.formatter -> event -> unit
+val event_to_string : event -> string

@@ -1,0 +1,1 @@
+lib/harness/e1.ml: Exp Firefly Mutex Taos_threads Threads_multicore Threads_util Unix

@@ -1,0 +1,1 @@
+lib/harness/e10.ml: Exp Firefly List Printf Taos_threads Threads_util

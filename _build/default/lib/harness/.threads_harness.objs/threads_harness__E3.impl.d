@@ -1,0 +1,1 @@
+lib/harness/e3.ml: Exp Firefly List Taos_threads Threads_util

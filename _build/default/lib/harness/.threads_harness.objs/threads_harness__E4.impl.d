@@ -1,0 +1,1 @@
+lib/harness/e4.ml: Exp Firefly Hashtbl List Option Printf Spec_core Taos_threads Threads_model Threads_util

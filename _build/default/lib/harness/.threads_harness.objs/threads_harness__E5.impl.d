@@ -1,0 +1,1 @@
+lib/harness/e5.ml: Exp Firefly List Printf Taos_threads Threads_util

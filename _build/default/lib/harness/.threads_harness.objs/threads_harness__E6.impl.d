@@ -1,0 +1,1 @@
+lib/harness/e6.ml: Exp Firefly List Taos_threads Threads_util

@@ -1,0 +1,1 @@
+lib/harness/e7.ml: Exp Firefly Format List Printf Scenarios Spec_core Taos_threads Threads_interface Threads_model Threads_util

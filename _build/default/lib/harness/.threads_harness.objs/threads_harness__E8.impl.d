@@ -1,0 +1,1 @@
+lib/harness/e8.ml: Exp Firefly List Printf Taos_threads Threads_util

@@ -1,0 +1,1 @@
+lib/harness/e9.ml: Exp Firefly List Printf Scenarios Spec_core Taos_threads Threads_model Threads_util Unix

@@ -1,0 +1,1 @@
+lib/harness/exp.ml: List Printf String

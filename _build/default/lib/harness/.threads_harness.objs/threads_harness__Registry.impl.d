@@ -1,0 +1,1 @@
+lib/harness/registry.ml: E1 E10 E2 E3 E4 E5 E6 E7 E8 E9 Exp List

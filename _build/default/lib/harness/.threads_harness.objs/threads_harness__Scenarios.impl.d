@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: List Printf Sort Spec_core Threads_model Threads_util Value

@@ -1,0 +1,25 @@
+(** Experiment registry.
+
+    The paper has no numbered tables or figures; its evaluation is a set of
+    precise claims.  Each experiment here regenerates one claim (see
+    EXPERIMENTS.md for the mapping) and prints one or more tables. *)
+
+type t = {
+  id : string;  (** "E1" ... "E10" *)
+  title : string;
+  claim : string;  (** the paper sentence being reproduced *)
+  run : unit -> unit;
+}
+
+val register : t -> unit
+
+(** All experiments, in id order. *)
+val all : unit -> t list
+
+val find : string -> t option
+
+(** [run_ids ids] — runs each (case-insensitive id match); returns the
+    unknown ids. *)
+val run_ids : string list -> string list
+
+val run_all : unit -> unit

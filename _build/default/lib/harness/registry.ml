@@ -1,0 +1,21 @@
+(** Registers every experiment.  Call {!init} once before using {!Exp}. *)
+
+let init =
+  let done_ = ref false in
+  fun () ->
+    if not !done_ then begin
+      done_ := true;
+      List.iter Exp.register
+        [
+          E1.experiment;
+          E2.experiment;
+          E3.experiment;
+          E4.experiment;
+          E5.experiment;
+          E6.experiment;
+          E7.experiment;
+          E8.experiment;
+          E9.experiment;
+          E10.experiment;
+        ]
+    end

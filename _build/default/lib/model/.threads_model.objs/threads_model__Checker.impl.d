@@ -1,0 +1,1 @@
+lib/model/checker.ml: Array Buffer Format Hashtbl List Printf Proc Program Semantics Spec_core Spec_obj State Value

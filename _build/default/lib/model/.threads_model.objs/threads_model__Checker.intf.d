@@ -1,0 +1,1 @@
+lib/model/checker.mli: Format Program Spec_core

@@ -1,0 +1,1 @@
+lib/model/conformance.ml: Firefly Format Hashtbl List Option Printf Proc Semantics Sort Spec_core Spec_obj State Term Threads_util Value

@@ -1,0 +1,1 @@
+lib/model/conformance.mli: Firefly Format Spec_core

@@ -1,0 +1,1 @@
+lib/model/program.ml: Array Format List Sort Spec_core Spec_obj State String Threads_util Value

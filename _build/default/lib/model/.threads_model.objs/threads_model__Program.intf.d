@@ -1,0 +1,1 @@
+lib/model/program.mli: Spec_core Threads_util

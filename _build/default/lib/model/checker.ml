@@ -1,0 +1,204 @@
+open Spec_core
+
+type trace_entry = {
+  thread : int;
+  proc : string;
+  action : string;
+  outcome : Proc.outcome;
+  case : int;
+}
+
+let pp_trace_entry ppf e =
+  Format.fprintf ppf "t%d: %s.%s [%a]" (Program.tid_of e.thread) e.proc
+    e.action Proc.pp_outcome e.outcome
+
+type violation = {
+  kind : [ `Invariant | `Deadlock | `Requires ];
+  message : string;
+  trace : trace_entry list;
+}
+
+type result = {
+  violation : violation option;
+  states : int;
+  transitions : int;
+}
+
+let pp_result ppf r =
+  match r.violation with
+  | None ->
+    Format.fprintf ppf "no violation (%d states, %d transitions)" r.states
+      r.transitions
+  | Some v ->
+    let kind =
+      match v.kind with
+      | `Invariant -> "invariant"
+      | `Deadlock -> "deadlock"
+      | `Requires -> "REQUIRES"
+    in
+    Format.fprintf ppf "%s violation after %d steps: %s (%d states explored)"
+      kind (List.length v.trace) v.message r.states;
+    List.iter (fun e -> Format.fprintf ppf "@\n  %a" pp_trace_entry e) v.trace
+
+(* A node of the exploration graph. *)
+type node = { state : State.t; phases : Program.phase array }
+
+let node_key node =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun obj ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d=%s;" obj.Spec_obj.oid
+           (Value.to_string (State.get node.state obj))))
+    (State.objects node.state);
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (match p with
+        | Program.Idle s -> Printf.sprintf "I%d," s
+        | Program.Mid (s, k) -> Printf.sprintf "M%d.%d," s k
+        | Program.Done -> "D,"))
+    node.phases;
+  Buffer.contents buf
+
+let run ?(max_states = 2_000_000) iface (scenario : Program.t) =
+  let objects =
+    List.map
+      (fun (name, sort) -> (name, Spec_obj.create name sort))
+      scenario.objects
+  in
+  let init_state =
+    List.fold_left
+      (fun st (_, obj) -> State.add obj (Value.initial obj.Spec_obj.sort) st)
+      State.empty objects
+  in
+  let nprogs = Array.length scenario.programs in
+  let init = { state = init_state; phases = Array.make nprogs (Program.Idle 0) } in
+  let step_of i s = List.nth scenario.programs.(i) s in
+  let bindings_of (step : Program.step) proc =
+    Semantics.bindings_of_args iface proc
+      (List.map
+         (function
+           | Program.Aobj name -> `Obj (List.assoc name objects)
+           | Program.Athread i -> `Val (Value.Thread (Program.tid_of i)))
+         step.args)
+  in
+  (* The action thread i must perform next, if any: either the first
+     action of its next call or the continuation of a composition. *)
+  let pending node i =
+    match node.phases.(i) with
+    | Program.Done -> None
+    | Program.Idle s ->
+      if s >= List.length scenario.programs.(i) then None
+      else
+        let step = step_of i s in
+        let proc = Proc.find_proc iface step.proc in
+        let actions = Proc.actions proc in
+        Some (step, proc, List.hd actions, 0, s)
+    | Program.Mid (s, k) ->
+      let step = step_of i s in
+      let proc = Proc.find_proc iface step.proc in
+      let actions = Proc.actions proc in
+      Some (step, proc, List.nth actions k, k, s)
+  in
+  let advance_phase (proc : Proc.t) k s prog_len =
+    let nactions = List.length (Proc.actions proc) in
+    if k + 1 >= nactions then
+      if s + 1 >= prog_len then Program.Done else Program.Idle (s + 1)
+    else Program.Mid (s, k + 1)
+  in
+  let visited = Hashtbl.create 4096 in
+  let states = ref 0 and transitions = ref 0 in
+  let violation = ref None in
+  let view node =
+    { Program.state = node.state; phases = node.phases; objects }
+  in
+  let check_invariant node trace =
+    match scenario.invariant with
+    | None -> ()
+    | Some inv -> (
+      match inv (view node) with
+      | None -> ()
+      | Some message ->
+        if !violation = None then
+          violation := Some { kind = `Invariant; message; trace = List.rev trace })
+  in
+  (* DFS with an explicit stack of (node, reversed trace). *)
+  let stack = ref [ (init, []) ] in
+  check_invariant init [];
+  while !violation = None && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (node, trace) :: rest -> (
+      stack := rest;
+      let key = node_key node in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.replace visited key ();
+        incr states;
+        if !states > max_states then
+          failwith "Checker: state-space bound exceeded";
+        (* Enumerate enabled transitions. *)
+        let any_enabled = ref false in
+        let all_done = ref true in
+        for i = 0 to nprogs - 1 do
+          match pending node i with
+          | None -> ()
+          | Some (step, proc, action, k, s) ->
+            all_done := false;
+            let self = Program.tid_of i in
+            let bindings = bindings_of step proc in
+            (* REQUIRES at the first action of a call. *)
+            if
+              k = 0
+              && not (Semantics.requires_holds proc ~self ~bindings node.state)
+              && !violation = None
+            then
+              violation :=
+                Some
+                  {
+                    kind = `Requires;
+                    message =
+                      Printf.sprintf "t%d calls %s with REQUIRES false" self
+                        step.proc;
+                    trace = List.rev trace;
+                  };
+            let outs =
+              Semantics.outcomes iface proc action ~self ~bindings node.state
+            in
+            List.iter
+              (fun (o : Semantics.outcome) ->
+                any_enabled := true;
+                incr transitions;
+                let phases = Array.copy node.phases in
+                phases.(i) <-
+                  advance_phase proc k s (List.length scenario.programs.(i));
+                let node' = { state = o.o_post; phases } in
+                let entry =
+                  {
+                    thread = i;
+                    proc = step.proc;
+                    action = action.Proc.a_name;
+                    outcome = o.o_outcome;
+                    case = o.o_case;
+                  }
+                in
+                let trace' = entry :: trace in
+                check_invariant node' trace';
+                stack := (node', trace') :: !stack)
+              outs
+        done;
+        if
+          (not !any_enabled) && (not !all_done)
+          && (not scenario.allow_deadlock)
+          && !violation = None
+        then
+          violation :=
+            Some
+              {
+                kind = `Deadlock;
+                message = "no enabled action but some programs unfinished";
+                trace = List.rev trace;
+              }
+      end)
+  done;
+  { violation = !violation; states = !states; transitions = !transitions }

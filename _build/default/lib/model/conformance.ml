@@ -1,0 +1,210 @@
+module Tid = Threads_util.Tid
+open Spec_core
+
+type error = { index : int; event : Firefly.Trace.event; message : string }
+
+type report = {
+  events : int;
+  errors : error list;
+  requires_violations : error list;
+}
+
+let ok r = r.errors = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d events, %d violations, %d requires-violations"
+    r.events (List.length r.errors)
+    (List.length r.requires_violations);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@\n  [%d] %a: %s" e.index Firefly.Trace.pp_event
+        e.event e.message)
+    r.errors
+
+(* Replay context. *)
+type ctx = {
+  iface : Proc.interface;
+  mutable state : State.t;
+  objs : (int, Spec_obj.t) Hashtbl.t;  (* impl object id -> spec object *)
+  (* thread -> remaining actions of an in-progress composition *)
+  in_progress : (Tid.t, string * Proc.action list) Hashtbl.t;
+  mutable errors : error list;
+  mutable requires_violations : error list;
+}
+
+let obj_for ctx ~sort ~impl_id =
+  match Hashtbl.find_opt ctx.objs impl_id with
+  | Some o ->
+    if not (Sort.equal o.Spec_obj.sort sort) then
+      failwith
+        (Format.asprintf "object #%d used at two sorts (%a vs %a)" impl_id
+           Sort.pp o.Spec_obj.sort Sort.pp sort);
+    o
+  | None ->
+    let o = Spec_obj.create (Printf.sprintf "o%d" impl_id) sort in
+    Hashtbl.replace ctx.objs impl_id o;
+    ctx.state <- State.add o (Value.initial sort) ctx.state;
+    o
+
+(* Resolve the event's arguments against the procedure's formals, creating
+   spec objects on first sight. *)
+let bindings_of ctx (proc : Proc.t) (ev : Firefly.Trace.event) =
+  List.map
+    (fun (f : Proc.formal) ->
+      match List.assoc_opt f.f_name ev.args with
+      | None -> failwith (Printf.sprintf "event lacks argument %s" f.f_name)
+      | Some (Firefly.Trace.Obj impl_id) ->
+        let sort = Proc.sort_of_type ctx.iface f.f_type in
+        (f.f_name, Term.Obj (obj_for ctx ~sort ~impl_id))
+      | Some (Firefly.Trace.Thr t) -> (f.f_name, Term.Const (Value.Thread t)))
+    proc.p_formals
+
+let arg_obj bindings name =
+  match List.assoc_opt name bindings with
+  | Some (Term.Obj o) -> o
+  | _ -> failwith (Printf.sprintf "expected VAR argument %s" name)
+
+let arg_thread bindings name =
+  match List.assoc_opt name bindings with
+  | Some (Term.Const (Value.Thread t)) -> t
+  | _ -> failwith (Printf.sprintf "expected thread argument %s" name)
+
+(* The abstraction function, applied per event: compute the abstract post
+   state the implementation's action denotes.  This encodes only which
+   procedure touched what — the legality of the transition is judged
+   afterwards by the spec clauses. *)
+let post_of ctx bindings (ev : Firefly.Trace.event) =
+  let st = ctx.state in
+  let self = ev.self in
+  let set_obj name v st = State.set st (arg_obj bindings name) v in
+  let alerts_del st = State.set_alerts st (Tid.Set.remove self (State.alerts st)) in
+  match (ev.proc, ev.action, ev.outcome) with
+  | "Acquire", _, _ -> set_obj "m" (Value.Thread self) st
+  | "Release", _, _ -> set_obj "m" Value.Nil st
+  | ("Wait" | "AlertWait"), "Enqueue", _ ->
+    let c = arg_obj bindings "c" in
+    let members = Value.as_set (State.get st c) in
+    let st = State.set st c (Value.Set (Tid.Set.add self members)) in
+    set_obj "m" Value.Nil st
+  | "Wait", "Resume", _ -> set_obj "m" (Value.Thread self) st
+  | "AlertWait", "AlertResume", Firefly.Trace.Ret ->
+    set_obj "m" (Value.Thread self) st
+  | "AlertWait", "AlertResume", Firefly.Trace.Raise _ ->
+    let c = arg_obj bindings "c" in
+    let members = Value.as_set (State.get st c) in
+    let st = State.set st c (Value.Set (Tid.Set.remove self members)) in
+    let st = set_obj "m" (Value.Thread self) st in
+    alerts_del st
+  | ("Signal" | "Broadcast"), _, _ ->
+    let c = arg_obj bindings "c" in
+    let members = Value.as_set (State.get st c) in
+    let members =
+      List.fold_left (fun acc t -> Tid.Set.remove t acc) members ev.removed
+    in
+    State.set st c (Value.Set members)
+  | "P", _, _ -> set_obj "s" (Value.Sem Value.Unavailable) st
+  | "V", _, _ -> set_obj "s" (Value.Sem Value.Available) st
+  | "Alert", _, _ ->
+    let target = arg_thread bindings "t" in
+    State.set_alerts st (Tid.Set.add target (State.alerts st))
+  | "TestAlert", _, _ -> alerts_del st
+  | "AlertP", _, Firefly.Trace.Ret ->
+    set_obj "s" (Value.Sem Value.Unavailable) st
+  | "AlertP", _, Firefly.Trace.Raise _ -> alerts_del st
+  | proc, action, _ ->
+    failwith (Printf.sprintf "unknown event %s.%s" proc action)
+
+let check iface trace =
+  let ctx =
+    {
+      iface;
+      state = State.empty;
+      objs = Hashtbl.create 16;
+      in_progress = Hashtbl.create 16;
+      errors = [];
+      requires_violations = [];
+    }
+  in
+  let count = ref 0 in
+  List.iteri
+    (fun index (ev : Firefly.Trace.event) ->
+      incr count;
+      let fail message = ctx.errors <- { index; event = ev; message } :: ctx.errors in
+      match Proc.find_proc iface ev.proc with
+      | exception Not_found -> fail "no such procedure in the interface"
+      | proc -> (
+        match bindings_of ctx proc ev with
+        | exception Failure message -> fail message
+        | bindings -> (
+        (* Composition sequencing per thread. *)
+        let action_or_error =
+          match Hashtbl.find_opt ctx.in_progress ev.self with
+          | Some (pname, next :: rest) ->
+            if pname <> ev.proc then
+              Error
+                (Printf.sprintf
+                   "thread is mid-%s but emitted a %s event" pname ev.proc)
+            else if next.Proc.a_name <> ev.action then
+              Error
+                (Printf.sprintf "expected action %s of %s, got %s"
+                   next.Proc.a_name pname ev.action)
+            else begin
+              (if rest = [] then Hashtbl.remove ctx.in_progress ev.self
+               else Hashtbl.replace ctx.in_progress ev.self (pname, rest));
+              Ok next
+            end
+          | Some (_, []) -> assert false
+          | None -> (
+            let actions = Proc.actions proc in
+            match actions with
+            | [] -> Error "procedure with no actions"
+            | first :: rest ->
+              if first.Proc.a_name <> ev.action then
+                Error
+                  (Printf.sprintf
+                     "expected first action %s of %s, got %s"
+                     first.Proc.a_name ev.proc ev.action)
+              else begin
+                (* REQUIRES is the caller's obligation at the first
+                   action. *)
+                if
+                  not
+                    (Semantics.requires_holds proc ~self:ev.self ~bindings
+                       ctx.state)
+                then
+                  ctx.requires_violations <-
+                    { index; event = ev; message = "REQUIRES violated by caller" }
+                    :: ctx.requires_violations;
+                if rest <> [] then
+                  Hashtbl.replace ctx.in_progress ev.self (ev.proc, rest);
+                Ok first
+              end)
+        in
+        match action_or_error with
+        | Error message -> fail message
+        | Ok action -> (
+          let pre = ctx.state in
+          match post_of ctx bindings ev with
+          | exception Failure message -> fail message
+          | post -> (
+            let outcome =
+              match ev.outcome with
+              | Firefly.Trace.Ret -> Proc.Returns
+              | Firefly.Trace.Raise e -> Proc.Raises e
+            in
+            let result = Option.map (fun b -> Value.Bool b) ev.result_bool in
+            ctx.state <- post;
+            match
+              Semantics.check_transition iface proc action ~self:ev.self
+                ~bindings ~pre ~post ~outcome ~result
+            with
+            | Ok _case -> ()
+            | Error message -> fail message)))))
+    trace;
+  {
+    events = !count;
+    errors = List.rev ctx.errors;
+    requires_violations = List.rev ctx.requires_violations;
+  }
+
+let check_machine iface machine = check iface (Firefly.Machine.trace machine)

@@ -1,0 +1,42 @@
+(** Trace conformance: does an implementation execution refine the formal
+    specification?
+
+    The checker replays a {!Firefly.Trace} event sequence, maintaining the
+    specification-level abstract state itself (no ghost state in the
+    implementation): each event determines the abstract post state — e.g.
+    an Acquire event sets the mutex to the emitting thread, a Signal event
+    removes exactly the threads listed in [removed].  Every transition is
+    then validated against the interface's clauses with
+    {!Spec_core.Semantics.check_transition}:
+
+    - some case of the action must have the matching RETURNS/RAISES kind,
+      its WHEN true in the pre state and its ENSURES true over (pre, post);
+    - objects outside MODIFIES AT MOST must be unchanged;
+    - REQUIRES is checked at the procedure's first action (a violation is
+      the {e caller's} fault and reported separately);
+    - a composition's actions must occur in order, per thread.
+
+    Checking the same trace against a buggy historical variant of the
+    specification shows exactly which events that variant cannot explain —
+    experiment E7b. *)
+
+type error = {
+  index : int;  (** position in the trace *)
+  event : Firefly.Trace.event;
+  message : string;
+}
+
+type report = {
+  events : int;
+  errors : error list;  (** spec violations (implementation at fault) *)
+  requires_violations : error list;  (** caller obligations broken *)
+}
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+(** [check iface trace] replays [trace] against [iface]. *)
+val check : Spec_core.Proc.interface -> Firefly.Trace.event list -> report
+
+(** [check_machine iface machine] is [check iface (Machine.trace machine)]. *)
+val check_machine : Spec_core.Proc.interface -> Firefly.Machine.t -> report

@@ -1,0 +1,69 @@
+module Tid = Threads_util.Tid
+open Spec_core
+
+type arg = Aobj of string | Athread of int
+
+type step = { proc : string; args : arg list }
+
+let call proc args = { proc; args }
+
+type phase = Idle of int | Mid of int * int | Done
+
+type view = {
+  state : State.t;
+  phases : phase array;
+  objects : (string * Spec_obj.t) list;
+}
+
+let value view name = State.get view.state (List.assoc name view.objects)
+
+(* Spec thread ids: program i runs as thread i+1 (0 is never used, keeping
+   ids distinct from NIL-ish defaults in debug output). *)
+let tid_of i = i + 1
+
+type t = {
+  name : string;
+  objects : (string * Sort.t) list;
+  programs : step list array;
+  invariant : (view -> string option) option;
+  allow_deadlock : bool;
+}
+
+let make ~name ~objects ~programs ?invariant ?(allow_deadlock = false) () =
+  { name; objects; programs = Array.of_list programs; invariant;
+    allow_deadlock }
+
+let no_stale_waiters ~c ~waits view =
+  let members = Value.as_set (value view c) in
+  let parked tid =
+    (* tid = program index + 1 *)
+    let i = tid - 1 in
+    i >= 0 && i < Array.length view.phases
+    &&
+    match view.phases.(i) with
+    | Mid (s, k) -> k >= 1 && List.mem (i, s) waits
+    | Idle _ | Done -> false
+  in
+  match Tid.Set.elements (Tid.Set.filter (fun t -> not (parked t)) members) with
+  | [] -> None
+  | stale ->
+    Some
+      (Format.asprintf
+         "condition %s contains %a which are not parked in any wait" c
+         Tid.Set.pp (Tid.Set.of_list stale))
+
+let mutual_exclusion ~regions view =
+  let occupied (prog, first, last, wait_steps) =
+    match view.phases.(prog) with
+    | Done -> false
+    | Idle s -> first < s && s <= last
+    | Mid (s, k) ->
+      first < s && s <= last && not (k >= 1 && List.mem s wait_steps)
+  in
+  let inside = List.filter occupied regions in
+  if List.length inside > 1 then
+    Some
+      (Format.asprintf "critical regions of programs %s occupied together"
+         (String.concat ", "
+            (List.map (fun (p, _, _, _) -> string_of_int p) inside)))
+  else None

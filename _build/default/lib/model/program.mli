@@ -1,0 +1,69 @@
+(** Client-program scenarios for the specification-level model checker.
+
+    A scenario declares synchronization objects, one straight-line program
+    per thread (a list of procedure calls on those objects), and a safety
+    invariant.  The checker explores {e every} interleaving of the atomic
+    actions the specification allows — including all non-deterministic
+    outcomes (e.g. all removal choices of Signal, both RETURNS and RAISES
+    when AlertP's guards overlap). *)
+
+type arg =
+  | Aobj of string  (** a declared object, by name *)
+  | Athread of int  (** the thread running program [i] (0-based) *)
+
+type step = { proc : string; args : arg list }
+
+val call : string -> arg list -> step
+
+(** Where a thread is in its program.  [Mid (s, k)] = inside the
+    composition of step [s], having executed [k] of its actions;
+    [Idle s] = before step [s]; [Done] = program finished. *)
+type phase = Idle of int | Mid of int * int | Done
+
+(** What the invariant sees after every transition. *)
+type view = {
+  state : Spec_core.State.t;
+  phases : phase array;  (** indexed by program/thread *)
+  objects : (string * Spec_core.Spec_obj.t) list;
+}
+
+(** [value view name] — current abstract value of a declared object. *)
+val value : view -> string -> Spec_core.Value.t
+
+(** [tid_of i] — the spec thread id of program [i]. *)
+val tid_of : int -> Threads_util.Tid.t
+
+type t = {
+  name : string;
+  objects : (string * Spec_core.Sort.t) list;
+  programs : step list array;
+  invariant : (view -> string option) option;
+  allow_deadlock : bool;
+}
+
+val make :
+  name:string ->
+  objects:(string * Spec_core.Sort.t) list ->
+  programs:step list list ->
+  ?invariant:(view -> string option) ->
+  ?allow_deadlock:bool ->
+  unit ->
+  t
+
+(** {1 Ready-made invariants} *)
+
+(** [no_stale_waiters ~c ~waits] — every member of condition [c] must be a
+    thread currently inside one of the [waits] regions: [(program, step)]
+    pairs naming Wait/AlertWait calls.  This is the invariant Nelson's bug
+    breaks: a thread that raised Alerted stays in [c]. *)
+val no_stale_waiters : c:string -> waits:(int * int) list -> view -> string option
+
+(** [mutual_exclusion ~regions] — at most one of the listed critical
+    regions may be occupied at a time.  A region [(program, first_step,
+    last_step, wait_steps)] is occupied when the thread's phase lies
+    strictly after completing [first_step] (its Acquire) and not past
+    [last_step] (its Release) — except while parked inside one of the
+    [wait_steps] (a Wait/AlertWait whose Enqueue released the mutex).
+    Breaks under the missing-mutex-guard variant of AlertWait. *)
+val mutual_exclusion :
+  regions:(int * int * int * int list) list -> view -> string option

@@ -1,0 +1,1 @@
+lib/multicore/multicore.ml: Atomic Domain Fun Hashtbl List Parker Spin Taos_threads

@@ -1,0 +1,1 @@
+lib/multicore/multicore.mli: Taos_threads

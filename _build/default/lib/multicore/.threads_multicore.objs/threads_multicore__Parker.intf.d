@@ -1,0 +1,1 @@
+lib/multicore/parker.mli:

@@ -1,0 +1,1 @@
+lib/multicore/spin.mli:

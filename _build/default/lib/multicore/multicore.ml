@@ -1,0 +1,281 @@
+exception Alerted = Taos_threads.Sync_intf.Alerted
+
+(* Polymorphic FIFO with arbitrary removal; touched only under the global
+   spin-lock. *)
+module Dq = struct
+  type 'a t = { mutable items : 'a list }
+
+  let create () = { items = [] }
+  let push q x = q.items <- q.items @ [ x ]
+
+  let pop q =
+    match q.items with
+    | [] -> None
+    | x :: rest ->
+      q.items <- rest;
+      Some x
+
+  let pop_all q =
+    let xs = q.items in
+    q.items <- [];
+    xs
+
+  let remove q x = q.items <- List.filter (fun y -> not (y == x)) q.items
+end
+
+type thread = {
+  tid : int;
+  parker : Parker.t;
+  mutable domain : unit Domain.t option;
+  mutable woken_by_alert : bool;  (* written under the nub lock *)
+}
+
+(* One package per process, like one Threads package per address space. *)
+let nub = Spin.create ()
+let tid_counter = Atomic.make 0
+
+let new_thread () =
+  {
+    tid = Atomic.fetch_and_add tid_counter 1;
+    parker = Parker.create ();
+    domain = None;
+    woken_by_alert = false;
+  }
+
+let key = Domain.DLS.new_key new_thread
+
+(* Alerting state, under the nub lock. *)
+let pending : (int, unit) Hashtbl.t = Hashtbl.create 16
+let cancels : (int, unit -> unit) Hashtbl.t = Hashtbl.create 16
+
+module Sync = struct
+  type nonrec thread = thread
+
+  type mutex = {
+    bit : bool Atomic.t;
+    mq : thread Dq.t;
+    waiters : int Atomic.t;  (* |mq|, written under the nub lock *)
+  }
+
+  type condition = {
+    evc : int Atomic.t;
+    interest : int Atomic.t;
+    cq : thread Dq.t;
+  }
+
+  type semaphore = mutex  (* "the implementation of semaphores is identical" *)
+
+  let self () = Domain.DLS.get key
+
+  let mutex () =
+    { bit = Atomic.make false; mq = Dq.create (); waiters = Atomic.make 0 }
+
+  let semaphore () = mutex ()
+
+  let condition () =
+    { evc = Atomic.make 0; interest = Atomic.make 0; cq = Dq.create () }
+
+  (* ---- mutex / semaphore core ---- *)
+
+  let try_bit m = Atomic.compare_and_set m.bit false true
+
+  (* The Nub subroutine for Acquire/P: enqueue, re-test, park or retry.
+     [alertable] adds the pending check and cancellation registration.
+     Returns [`Alerted] only for alertable calls. *)
+  let rec slow_lock m ~alertable =
+    let me = self () in
+    Spin.acquire nub;
+    if alertable && Hashtbl.mem pending me.tid then begin
+      Spin.release nub;
+      `Alerted
+    end
+    else begin
+      Dq.push m.mq me;
+      Atomic.incr m.waiters;
+      if Atomic.get m.bit then begin
+        if alertable then
+          Hashtbl.replace cancels me.tid (fun () ->
+              Dq.remove m.mq me;
+              Atomic.decr m.waiters;
+              me.woken_by_alert <- true;
+              Parker.unpark me.parker);
+        Spin.release nub;
+        Parker.park me.parker;
+        let alerted =
+          alertable
+          &&
+          begin
+            Spin.acquire nub;
+            Hashtbl.remove cancels me.tid;
+            let w = me.woken_by_alert in
+            me.woken_by_alert <- false;
+            Spin.release nub;
+            w
+          end
+        in
+        if alerted then `Alerted
+        else if try_bit m then `Acquired
+        else slow_lock m ~alertable
+      end
+      else begin
+        Dq.remove m.mq me;
+        Atomic.decr m.waiters;
+        Spin.release nub;
+        if try_bit m then `Acquired else slow_lock m ~alertable
+      end
+    end
+
+  let lock m ~alertable =
+    if try_bit m then `Acquired else slow_lock m ~alertable
+
+  let unlock m =
+    Atomic.set m.bit false;
+    if Atomic.get m.waiters <> 0 then begin
+      Spin.acquire nub;
+      (match Dq.pop m.mq with
+      | Some t ->
+        Atomic.decr m.waiters;
+        Hashtbl.remove cancels t.tid;
+        Parker.unpark t.parker
+      | None -> ());
+      Spin.release nub
+    end
+
+  let acquire m =
+    match lock m ~alertable:false with `Acquired -> () | `Alerted -> assert false
+
+  let release = unlock
+
+  let with_lock m f =
+    acquire m;
+    Fun.protect ~finally:(fun () -> release m) f
+
+  let p = acquire
+  let v = unlock
+
+  let alert_p s =
+    match lock s ~alertable:true with
+    | `Acquired -> ()
+    | `Alerted ->
+      Spin.acquire nub;
+      Hashtbl.remove pending (self ()).tid;
+      Spin.release nub;
+      raise Alerted
+
+  (* ---- condition variables ---- *)
+
+  (* Block(c, i): sleep unless the eventcount moved since [i]. *)
+  let block c i ~alertable =
+    let me = self () in
+    Spin.acquire nub;
+    if Atomic.get c.evc <> i then begin
+      Spin.release nub;
+      `Stale
+    end
+    else if alertable && Hashtbl.mem pending me.tid then begin
+      Spin.release nub;
+      `Alerted_now
+    end
+    else begin
+      Dq.push c.cq me;
+      if alertable then
+        Hashtbl.replace cancels me.tid (fun () ->
+            Dq.remove c.cq me;
+            me.woken_by_alert <- true;
+            Parker.unpark me.parker);
+      Spin.release nub;
+      Parker.park me.parker;
+      `Woken
+    end
+
+  let wait_generic c m ~alertable =
+    let me = self () in
+    ignore (Atomic.fetch_and_add c.interest 1);
+    let i = Atomic.get c.evc in
+    unlock m;
+    let wake = block c i ~alertable in
+    let raise_it =
+      alertable
+      &&
+      match wake with
+      | `Alerted_now -> true
+      | `Stale | `Woken ->
+        Spin.acquire nub;
+        Hashtbl.remove cancels me.tid;
+        let w = me.woken_by_alert || Hashtbl.mem pending me.tid in
+        me.woken_by_alert <- false;
+        Spin.release nub;
+        w
+    in
+    acquire m;
+    ignore (Atomic.fetch_and_add c.interest (-1));
+    if raise_it then begin
+      Spin.acquire nub;
+      Hashtbl.remove pending me.tid;
+      Spin.release nub;
+      raise Alerted
+    end
+
+  let wait m c = wait_generic c m ~alertable:false
+  let alert_wait m c = wait_generic c m ~alertable:true
+
+  let wake_some c ~take_all =
+    if Atomic.get c.interest <> 0 then begin
+      Spin.acquire nub;
+      ignore (Atomic.fetch_and_add c.evc 1);
+      let woken =
+        if take_all then Dq.pop_all c.cq
+        else match Dq.pop c.cq with Some t -> [ t ] | None -> []
+      in
+      List.iter
+        (fun t ->
+          Hashtbl.remove cancels t.tid;
+          Parker.unpark t.parker)
+        woken;
+      Spin.release nub
+    end
+
+  let signal c = wake_some c ~take_all:false
+  let broadcast c = wake_some c ~take_all:true
+
+  (* ---- alerting ---- *)
+
+  let alert (t : thread) =
+    Spin.acquire nub;
+    Hashtbl.replace pending t.tid ();
+    (match Hashtbl.find_opt cancels t.tid with
+    | Some cancel ->
+      Hashtbl.remove cancels t.tid;
+      cancel ()
+    | None -> ());
+    Spin.release nub
+
+  let test_alert () =
+    let me = self () in
+    Spin.acquire nub;
+    let was = Hashtbl.mem pending me.tid in
+    Hashtbl.remove pending me.tid;
+    Spin.release nub;
+    was
+
+  (* ---- threads ---- *)
+
+  let fork f =
+    let t = new_thread () in
+    let d =
+      Domain.spawn (fun () ->
+          Domain.DLS.set key t;
+          f ())
+    in
+    t.domain <- Some d;
+    t
+
+  let join t =
+    match t.domain with
+    | Some d -> Domain.join d
+    | None -> invalid_arg "Multicore.join: not a forked thread"
+
+  let yield () = Domain.cpu_relax ()
+end
+
+let run body = body ()

@@ -1,0 +1,33 @@
+(** The Threads package on real parallel hardware: OCaml 5 domains,
+    [Atomic] words, and the same two-layer structure as the Firefly code.
+
+    - Mutex/Semaphore: an atomic lock bit with an in-line test-and-set fast
+      path; contended paths enter the "Nub" (the global spin-lock) to queue
+      and park, re-testing the bit exactly as the paper's Nub subroutine
+      does.
+    - Condition: an atomic eventcount plus a queue; Wait reads the count,
+      releases the mutex, and Block compares the count under the spin-lock
+      — the wakeup-waiting race is closed the same way as on the Firefly.
+    - Alerting: a pending set under the spin-lock with cancellation of
+      alertable sleeps.
+
+    This backend implements {!Taos_threads.Sync_intf.SYNC}, so every
+    example and workload in the repository also runs with true parallelism.
+    It emits no trace events (real concurrency offers no atomic
+    log-with-action); its conformance evidence is the simulator running the
+    same algorithm, plus the linearizability-flavoured stress tests.
+
+    [fork] spawns a domain; keep thread counts near the core count. *)
+
+type thread
+
+(** Equal to {!Taos_threads.Sync_intf.Alerted}. *)
+exception Alerted
+
+(** The SYNC instance.  Global (one package per process), matching the
+    Threads package being one per address space. *)
+module Sync : Taos_threads.Sync_intf.SYNC with type thread = thread
+
+(** [run body] — run [body] on the main thread with the package
+    initialized; joins nothing implicitly. *)
+val run : (unit -> 'a) -> 'a

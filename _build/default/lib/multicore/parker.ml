@@ -1,0 +1,21 @@
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable permit : bool;
+}
+
+let create () = { m = Mutex.create (); cv = Condition.create (); permit = false }
+
+let park p =
+  Mutex.lock p.m;
+  while not p.permit do
+    Condition.wait p.cv p.m
+  done;
+  p.permit <- false;
+  Mutex.unlock p.m
+
+let unpark p =
+  Mutex.lock p.m;
+  p.permit <- true;
+  Condition.signal p.cv;
+  Mutex.unlock p.m

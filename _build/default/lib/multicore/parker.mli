@@ -1,0 +1,15 @@
+(** Per-thread parking: the real-hardware stand-in for the Nub's
+    deschedule/ready pair.  A one-shot permit with the wakeup-waiting
+    property: an [unpark] arriving before [park] makes the park return
+    immediately (Saltzer's wakeup-waiting switch), so the Nub protocols
+    need no further care about that race. *)
+
+type t
+
+val create : unit -> t
+
+(** [park p] — block until the permit is available, then consume it. *)
+val park : t -> unit
+
+(** [unpark p] — deposit the permit, waking a parked thread if any. *)
+val unpark : t -> unit

@@ -1,0 +1,13 @@
+type t = { bit : bool Atomic.t }
+
+let create () = { bit = Atomic.make false }
+
+let try_acquire l = Atomic.compare_and_set l.bit false true
+
+let rec acquire l =
+  if not (try_acquire l) then begin
+    Domain.cpu_relax ();
+    acquire l
+  end
+
+let release l = Atomic.set l.bit false

@@ -1,0 +1,1 @@
+lib/threads/alerts.ml: Events Firefly Hashtbl Spinlock Threads_util

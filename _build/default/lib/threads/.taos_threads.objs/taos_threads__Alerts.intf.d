@@ -1,0 +1,1 @@
+lib/threads/alerts.mli: Spinlock Threads_util

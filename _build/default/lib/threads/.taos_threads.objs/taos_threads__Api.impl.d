@@ -1,0 +1,1 @@
+lib/threads/api.ml: Alerts Condition Firefly Mutex Pkg Semaphore Sync_intf Threads_util

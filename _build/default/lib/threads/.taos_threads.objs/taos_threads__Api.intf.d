@@ -1,0 +1,1 @@
+lib/threads/api.mli: Firefly Pkg Sync_intf Threads_util

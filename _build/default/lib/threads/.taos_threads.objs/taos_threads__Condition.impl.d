@@ -1,0 +1,1 @@
+lib/threads/condition.ml: Alerts Events Firefly Hashtbl List Mutex Pkg Spinlock Sync_intf Threads_util Tqueue

@@ -1,0 +1,1 @@
+lib/threads/condition.mli: Mutex Pkg

@@ -1,0 +1,1 @@
+lib/threads/events.ml: Firefly

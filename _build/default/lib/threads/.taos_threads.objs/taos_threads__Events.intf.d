@@ -1,0 +1,1 @@
+lib/threads/events.mli: Firefly Threads_util Tid

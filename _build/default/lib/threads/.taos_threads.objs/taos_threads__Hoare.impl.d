@@ -1,0 +1,1 @@
+lib/threads/hoare.ml: Firefly Fun Threads_util Tqueue

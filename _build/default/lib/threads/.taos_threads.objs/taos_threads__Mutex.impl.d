@@ -1,0 +1,1 @@
+lib/threads/mutex.ml: Events Firefly Fun Pkg Spinlock Tqueue

@@ -1,0 +1,1 @@
+lib/threads/mutex.mli: Firefly Pkg

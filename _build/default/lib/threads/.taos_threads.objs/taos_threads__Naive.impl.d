@@ -1,0 +1,1 @@
+lib/threads/naive.ml: Firefly Mutex Semaphore

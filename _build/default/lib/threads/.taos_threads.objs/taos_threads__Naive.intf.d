@@ -1,0 +1,1 @@
+lib/threads/naive.mli: Mutex Pkg

@@ -1,0 +1,1 @@
+lib/threads/pkg.mli: Alerts Spinlock

@@ -1,0 +1,1 @@
+lib/threads/semaphore.ml: Alerts Events Firefly Pkg Spinlock Sync_intf Tqueue

@@ -1,0 +1,1 @@
+lib/threads/semaphore.mli: Pkg

@@ -1,0 +1,1 @@
+lib/threads/tqueue.ml: List Threads_util

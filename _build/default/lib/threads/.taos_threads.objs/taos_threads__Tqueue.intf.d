@@ -1,0 +1,1 @@
+lib/threads/tqueue.mli: Threads_util

@@ -1,0 +1,1 @@
+lib/threads/uniproc.ml: Events Firefly Fun Hashtbl List Sync_intf Threads_util Tqueue

@@ -1,0 +1,1 @@
+lib/threads/uniproc.mli: Firefly Sync_intf Threads_util

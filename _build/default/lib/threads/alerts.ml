@@ -1,0 +1,46 @@
+module Tid = Threads_util.Tid
+module Ops = Firefly.Machine.Ops
+
+type t = {
+  mutable pending : Tid.Set.t;
+  cancels : (Tid.t, unit -> unit) Hashtbl.t;
+  woken : (Tid.t, unit) Hashtbl.t;
+}
+
+let create () =
+  { pending = Tid.Set.empty; cancels = Hashtbl.create 8; woken = Hashtbl.create 8 }
+
+let alert t ~lock ~self ~target =
+  Spinlock.acquire lock;
+  ignore
+    (Ops.mem_emit Firefly.Machine.M_none (fun _ ->
+         t.pending <- Tid.Set.add target t.pending;
+         Some (Events.alert ~self ~target)));
+  (match Hashtbl.find_opt t.cancels target with
+  | Some cancel ->
+    Hashtbl.remove t.cancels target;
+    Hashtbl.replace t.woken target ();
+    cancel ()
+  | None -> ());
+  Spinlock.release lock
+
+let test_alert t ~self =
+  let was = ref false in
+  ignore
+    (Ops.mem_emit Firefly.Machine.M_none (fun _ ->
+         was := Tid.Set.mem self t.pending;
+         t.pending <- Tid.Set.remove self t.pending;
+         Some (Events.test_alert ~self ~result:!was)));
+  !was
+
+let pending t tid = Tid.Set.mem tid t.pending
+let consume_pending t tid = t.pending <- Tid.Set.remove tid t.pending
+let register t tid cancel = Hashtbl.replace t.cancels tid cancel
+let unregister t tid = Hashtbl.remove t.cancels tid
+
+let take_woken_by_alert t tid =
+  if Hashtbl.mem t.woken tid then begin
+    Hashtbl.remove t.woken tid;
+    true
+  end
+  else false

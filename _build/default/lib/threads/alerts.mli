@@ -1,0 +1,44 @@
+(** The alerting machinery: the global pending set ([VAR alerts]) plus the
+    Nub bookkeeping that lets [Alert] pull an alertably-blocked thread out
+    of whatever queue it sleeps on.
+
+    The pending set is OCaml state mutated only inside single atomic
+    simulator steps ({!Firefly.Machine.Ops.mem_emit} thunks) or under the
+    spin-lock, so it is race-free by construction. *)
+
+type t
+
+val create : unit -> t
+
+(** [alert t ~lock ~self ~target] — the Alert(t) procedure: atomically add
+    [target] to the pending set (emitting the Alert event), then, if
+    [target] is blocked in an alertable wait, cancel that wait: dequeue it,
+    mark it woken-by-alert and ready it.  Runs under [lock]. *)
+val alert : t -> lock:Spinlock.t -> self:Threads_util.Tid.t ->
+  target:Threads_util.Tid.t -> unit
+
+(** [test_alert t ~self] — atomically read-and-clear [self]'s pending flag
+    (emitting the TestAlert event). *)
+val test_alert : t -> self:Threads_util.Tid.t -> bool
+
+(** [pending t tid] — is an alert pending for [tid]?  (A racy read used
+    only where either answer is acceptable, i.e. the non-deterministic
+    RETURNS/RAISES choices.) *)
+val pending : t -> Threads_util.Tid.t -> bool
+
+(** [consume_pending t tid] removes [tid]'s pending flag; called inside the
+    mem_emit thunk that emits the corresponding Raises event, so the
+    consumption is atomic with the action. *)
+val consume_pending : t -> Threads_util.Tid.t -> unit
+
+(** [register t tid cancel] — [tid] is about to deschedule in an alertable
+    wait; [cancel] (called with the spin-lock held, from the alerter's
+    context) must dequeue it and ready it. *)
+val register : t -> Threads_util.Tid.t -> (unit -> unit) -> unit
+
+(** [unregister t tid] — called by a normal waker when it dequeues [tid]. *)
+val unregister : t -> Threads_util.Tid.t -> unit
+
+(** [take_woken_by_alert t tid] — read-and-clear the woken-by-alert mark
+    set by a cancellation. *)
+val take_woken_by_alert : t -> Threads_util.Tid.t -> bool

@@ -1,0 +1,49 @@
+module Ops = Firefly.Machine.Ops
+module Tid = Threads_util.Tid
+
+type sync = (module Sync_intf.SYNC with type thread = Tid.t)
+
+let make pkg : sync =
+  (module struct
+    type mutex = Mutex.t
+    type condition = Condition.t
+    type semaphore = Semaphore.t
+    type thread = Tid.t
+
+    let mutex () = Mutex.create pkg
+    let condition () = Condition.create pkg
+    let semaphore () = Semaphore.create pkg
+    let acquire = Mutex.acquire
+    let release = Mutex.release
+    let with_lock = Mutex.with_lock
+    let wait m c = Condition.wait c m
+    let signal = Condition.signal
+    let broadcast = Condition.broadcast
+    let p = Semaphore.p
+    let v = Semaphore.v
+
+    let alert target =
+      Alerts.alert pkg.Pkg.alerts ~lock:pkg.Pkg.lock ~self:(Ops.self ())
+        ~target
+
+    let test_alert () = Alerts.test_alert pkg.Pkg.alerts ~self:(Ops.self ())
+    let alert_wait m c = Condition.alert_wait c m
+    let alert_p = Semaphore.alert_p
+    let self () = Ops.self ()
+    let fork f = Ops.spawn f
+    let join = Ops.join
+    let yield = Ops.yield
+  end)
+
+let build ?fast_path body machine =
+  ignore
+    (Firefly.Machine.spawn_root machine (fun () ->
+         let pkg = Pkg.create ?fast_path () in
+         body (make pkg)))
+
+let run ?fast_path ?seed ?strategy ?max_steps ?cost body =
+  Firefly.Interleave.run ?max_steps ?strategy ?seed ?cost
+    (build ?fast_path body)
+
+let run_timed ~processors ?fast_path ?seed ?cost ?max_cycles body =
+  Firefly.Timed.run ~processors ?seed ?cost ?max_cycles (build ?fast_path body)

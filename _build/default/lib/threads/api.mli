@@ -1,0 +1,46 @@
+(** Backend assembly: the Firefly-simulator implementation of
+    {!Sync_intf.SYNC}, plus run helpers.
+
+    Typical use:
+
+    {[
+      let report =
+        Taos_threads.Api.run ~seed:42 (fun sync ->
+            let module S = (val sync : Taos_threads.Sync_intf.SYNC
+                              with type thread = Threads_util.Tid.t) in
+            let m = S.mutex () in
+            ...)
+    ]} *)
+
+type sync = (module Sync_intf.SYNC with type thread = Threads_util.Tid.t)
+
+(** [make pkg] builds the simulator backend over a package instance.
+    Must be called from simulated thread context. *)
+val make : Pkg.t -> sync
+
+(** [run ?fast_path ?seed ?strategy ?max_steps body] — create a machine,
+    a package and the backend inside a root thread, then drive with the
+    interleaving driver. *)
+val run :
+  ?fast_path:bool ->
+  ?seed:int ->
+  ?strategy:Firefly.Sched.t ->
+  ?max_steps:int ->
+  ?cost:Firefly.Cost.t ->
+  (sync -> unit) ->
+  Firefly.Interleave.report
+
+(** [run_timed ~processors body] — same, driven by the cycle-accurate
+    timed driver. *)
+val run_timed :
+  processors:int ->
+  ?fast_path:bool ->
+  ?seed:int ->
+  ?cost:Firefly.Cost.t ->
+  ?max_cycles:int ->
+  (sync -> unit) ->
+  Firefly.Timed.report
+
+(** [build ?fast_path body machine] — spawn the root thread on an existing
+    machine (for {!Firefly.Explore}). *)
+val build : ?fast_path:bool -> (sync -> unit) -> Firefly.Machine.t -> unit

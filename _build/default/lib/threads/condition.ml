@@ -1,0 +1,149 @@
+module Ops = Firefly.Machine.Ops
+module M = Firefly.Machine
+module Tid = Threads_util.Tid
+
+type t = {
+  pkg : Pkg.t;
+  evc : Firefly.Eventcount.t;
+  interest : int;
+      (* addr; waiters faa it up before Enqueue and down after leaving, so
+         the user-space Signal/Broadcast skip (read = 0) is conservative *)
+  q : Tqueue.t;
+  window : (Tid.t, unit) Hashtbl.t;
+      (* threads between their Enqueue linearization and Block's verdict *)
+  departing : (Tid.t, unit) Hashtbl.t;
+      (* threads pulled out by an alert but whose AlertResume has not yet
+         linearized: still abstractly members of c, so Broadcast must list
+         them in its removal to establish c_post = {} *)
+}
+
+let create pkg =
+  {
+    pkg;
+    evc = Firefly.Eventcount.create ();
+    interest = Ops.alloc 1;
+    q = Tqueue.create ();
+    window = Hashtbl.create 8;
+    departing = Hashtbl.create 8;
+  }
+
+let id c = c.interest
+let queued c = Tqueue.length c.q
+
+type wake = Stale | Alerted_now | Woken
+
+(* The Nub's Block(c, i): under the spin-lock, compare i with the current
+   eventcount.  Unequal: a Signal/Broadcast intervened since our Enqueue —
+   return at once (the wakeup-waiting race cover).  Equal: sleep on c's
+   queue.  An alertable block that already has an alert pending departs
+   immediately instead of sleeping. *)
+let block c i ~alertable =
+  let self = Ops.self () in
+  Spinlock.acquire c.pkg.lock;
+  let cur = Firefly.Eventcount.read c.evc in
+  if cur <> i then begin
+    Hashtbl.remove c.window self;
+    Spinlock.release c.pkg.lock;
+    Stale
+  end
+  else if alertable && Alerts.pending c.pkg.alerts self then begin
+    Hashtbl.remove c.window self;
+    Hashtbl.replace c.departing self ();
+    Spinlock.release c.pkg.lock;
+    Alerted_now
+  end
+  else begin
+    Hashtbl.remove c.window self;
+    Tqueue.push c.q self;
+    if alertable then
+      Alerts.register c.pkg.alerts self (fun () ->
+          (* Cancellation, run by Alert under the spin-lock. *)
+          ignore (Tqueue.remove c.q self);
+          Hashtbl.replace c.departing self ();
+          Ops.ready self);
+    Ops.deschedule_and_clear (Spinlock.addr c.pkg.lock);
+    Woken
+  end
+
+let wait_generic c m ~proc ~alertable =
+  let self = Ops.self () in
+  ignore (Ops.faa c.interest 1);
+  (* Enqueue linearizes at the eventcount read: event emission, window
+     entry and the read are one atomic instruction. *)
+  let i =
+    Ops.mem_emit
+      (M.M_read (Firefly.Eventcount.value_addr c.evc))
+      (fun _ ->
+        Hashtbl.replace c.window self ();
+        Some (Events.enqueue ~proc ~self ~m:(Mutex.id m) ~c:(id c)))
+  in
+  Mutex.unlock_internal m ~event:(fun () -> None);
+  let wake = block c i ~alertable in
+  let raise_it =
+    alertable
+    && (wake = Alerted_now
+       || (wake = Woken && Alerts.take_woken_by_alert c.pkg.alerts self)
+       || Alerts.pending c.pkg.alerts self
+          (* sampled once, here: an alert landing after this point is not
+             honoured this time round — the implementation's
+             non-determinism the paper's incident 2 legitimised *))
+  in
+  (* Re-acquire, linearizing Resume / AlertResume at the winning TAS. *)
+  let cid = id c in
+  (if alertable then
+     Mutex.lock_internal m ~event:(fun () ->
+         Hashtbl.remove c.departing self;
+         if raise_it then Alerts.consume_pending c.pkg.alerts self;
+         Some
+           (Events.alert_resume ~self ~m:(Mutex.id m) ~c:cid
+              ~alerted:raise_it))
+   else
+     Mutex.lock_internal m ~event:(fun () ->
+         Some (Events.resume ~self ~m:(Mutex.id m) ~c:cid)));
+  ignore (Ops.faa c.interest (-1));
+  if raise_it then raise Sync_intf.Alerted
+
+let wait c m = wait_generic c m ~proc:"Wait" ~alertable:false
+let alert_wait c m = wait_generic c m ~proc:"AlertWait" ~alertable:true
+
+(* Signal and Broadcast: user code skips the Nub when nobody is (or is
+   committing to be) waiting; otherwise, under the spin-lock, advance the
+   eventcount — atomically computing and logging the removal set — and
+   ready the dequeued threads. *)
+let wake_some c ~take_all =
+  let self = Ops.self () in
+  let event removed =
+    if take_all then Events.broadcast ~self ~c:(id c) ~removed
+    else Events.signal ~self ~c:(id c) ~removed
+  in
+  let skipped =
+    c.pkg.fast_path
+    && Ops.mem_emit (M.M_read c.interest) (fun v ->
+           if v = 0 then Some (event []) else None)
+       = 0
+  in
+  if not skipped then begin
+    Ops.incr_counter "nub.signal";
+    let to_ready = ref [] in
+    Spinlock.acquire c.pkg.lock;
+    ignore
+      (Ops.mem_emit
+         (M.M_faa (Firefly.Eventcount.value_addr c.evc, 1))
+         (fun _ ->
+           let from_q =
+             if take_all then Tqueue.pop_all c.q
+             else match Tqueue.pop c.q with Some t -> [ t ] | None -> []
+           in
+           let grab tbl = Hashtbl.fold (fun t () acc -> t :: acc) tbl [] in
+           let from_window = grab c.window in
+           let from_departing = grab c.departing in
+           Hashtbl.reset c.window;
+           List.iter (Alerts.unregister c.pkg.alerts) from_q;
+           to_ready := from_q;
+           Some (event (from_q @ from_window @ from_departing))));
+    List.iter Ops.ready !to_ready;
+    Spinlock.release c.pkg.lock
+  end
+
+let signal c = wake_some c ~take_all:false
+let broadcast c = wake_some c ~take_all:true

@@ -1,0 +1,46 @@
+(** Condition variables, as implemented on the Firefly (paper,
+    Implementation): a pair (Eventcount, Queue).
+
+    Wait(m, c): read the eventcount (this is the linearization point of
+    the Enqueue action — at that instant the thread is abstractly in [c]
+    and [m] is abstractly NIL, even though the lock bit clears a few
+    instructions later); release the mutex without emitting Release (the
+    visible effect belongs to Enqueue); call the Nub's Block(c, i); on
+    return re-acquire the mutex, emitting the Resume action at the winning
+    test-and-set.
+
+    Block compares [i] with the current eventcount under the spin-lock: an
+    intervening Signal/Broadcast advanced it, so Block returns immediately
+    — the wakeup-waiting race of the paper.  The set of threads inside
+    that window is tracked so Signal can report exactly which threads its
+    eventcount increment released: the queued thread it dequeues {e plus}
+    every window thread ("Signal will unblock all such threads").
+
+    The user code of Signal/Broadcast skips the Nub when the [interest]
+    count is zero; waiters increment it before their Enqueue linearization
+    and decrement it after leaving, so zero reliably means nobody is
+    waiting or committed to waiting. *)
+
+type t
+
+val create : Pkg.t -> t
+
+(** The identity used in trace events. *)
+val id : t -> int
+
+(** Wait(m, c).  REQUIRES m = SELF is the caller's obligation. *)
+val wait : t -> Mutex.t -> unit
+
+(** AlertWait(m, c) — like Wait but alertable; raises {!Sync_intf.Alerted}
+    instead of returning when the thread has been alerted.  The
+    RETURNS/RAISES choice when both are possible is deliberately
+    schedule-dependent (the paper's incident 2 non-determinism): the
+    pending flag is sampled once after wakeup, before re-acquiring the
+    mutex. *)
+val alert_wait : t -> Mutex.t -> unit
+
+val signal : t -> unit
+val broadcast : t -> unit
+
+(** Number of threads currently enqueued (racy; for tests/metrics). *)
+val queued : t -> int

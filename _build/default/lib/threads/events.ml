@@ -1,0 +1,38 @@
+open Firefly.Trace
+
+let acquire ~self ~m = make ~proc:"Acquire" ~self ~args:[ ("m", Obj m) ] ()
+let release ~self ~m = make ~proc:"Release" ~self ~args:[ ("m", Obj m) ] ()
+
+let enqueue ~proc ~self ~m ~c =
+  make ~proc ~action:"Enqueue" ~self ~args:[ ("m", Obj m); ("c", Obj c) ] ()
+
+let resume ~self ~m ~c =
+  make ~proc:"Wait" ~action:"Resume" ~self
+    ~args:[ ("m", Obj m); ("c", Obj c) ]
+    ()
+
+let alert_resume ~self ~m ~c ~alerted =
+  make ~proc:"AlertWait" ~action:"AlertResume" ~self
+    ~args:[ ("m", Obj m); ("c", Obj c) ]
+    ~outcome:(if alerted then Raise "Alerted" else Ret)
+    ()
+
+let signal ~self ~c ~removed =
+  make ~proc:"Signal" ~self ~args:[ ("c", Obj c) ] ~removed ()
+
+let broadcast ~self ~c ~removed =
+  make ~proc:"Broadcast" ~self ~args:[ ("c", Obj c) ] ~removed ()
+
+let p ~self ~s = make ~proc:"P" ~self ~args:[ ("s", Obj s) ] ()
+let v ~self ~s = make ~proc:"V" ~self ~args:[ ("s", Obj s) ] ()
+
+let alert ~self ~target =
+  make ~proc:"Alert" ~self ~args:[ ("t", Thr target) ] ()
+
+let test_alert ~self ~result =
+  make ~proc:"TestAlert" ~self ~args:[] ~result_bool:result ()
+
+let alert_p ~self ~s ~alerted =
+  make ~proc:"AlertP" ~self ~args:[ ("s", Obj s) ]
+    ~outcome:(if alerted then Raise "Alerted" else Ret)
+    ()

@@ -1,0 +1,29 @@
+(** Trace-event constructors for the Threads package's atomic actions.
+
+    Kept in one place so the sim and uniprocessor backends emit identical
+    events and the conformance checker sees one vocabulary. *)
+
+open Threads_util
+
+val acquire : self:Tid.t -> m:int -> Firefly.Trace.event
+val release : self:Tid.t -> m:int -> Firefly.Trace.event
+
+(** Wait's and AlertWait's first atomic action share shape; [proc]
+    distinguishes them. *)
+val enqueue : proc:string -> self:Tid.t -> m:int -> c:int -> Firefly.Trace.event
+
+val resume : self:Tid.t -> m:int -> c:int -> Firefly.Trace.event
+
+val alert_resume :
+  self:Tid.t -> m:int -> c:int -> alerted:bool -> Firefly.Trace.event
+
+val signal : self:Tid.t -> c:int -> removed:Tid.t list -> Firefly.Trace.event
+
+val broadcast :
+  self:Tid.t -> c:int -> removed:Tid.t list -> Firefly.Trace.event
+
+val p : self:Tid.t -> s:int -> Firefly.Trace.event
+val v : self:Tid.t -> s:int -> Firefly.Trace.event
+val alert : self:Tid.t -> target:Tid.t -> Firefly.Trace.event
+val test_alert : self:Tid.t -> result:bool -> Firefly.Trace.event
+val alert_p : self:Tid.t -> s:int -> alerted:bool -> Firefly.Trace.event

@@ -1,0 +1,95 @@
+module Ops = Firefly.Machine.Ops
+module M = Firefly.Machine
+module Tid = Threads_util.Tid
+
+type monitor = {
+  mutable holder : Tid.t option;
+  entry : Tqueue.t;
+  urgent : Tqueue.t;  (* suspended signallers; priority over entry *)
+  mutable switch_count : int;
+  scratch : int;
+}
+
+type cond = { mon : monitor; hq : Tqueue.t }
+
+let atomically f = ignore (Ops.mem_emit M.M_none (fun _ -> f (); None))
+
+let monitor () =
+  {
+    holder = None;
+    entry = Tqueue.create ();
+    urgent = Tqueue.create ();
+    switch_count = 0;
+    scratch = Ops.alloc 1;
+  }
+
+let condition mon = { mon; hq = Tqueue.create () }
+
+(* Ownership is transferred, never contended: a thread woken from the
+   entry, urgent or condition queue already holds the monitor. *)
+let enter mon =
+  let self = Ops.self () in
+  let got = ref false in
+  atomically (fun () ->
+      match mon.holder with
+      | None ->
+        mon.holder <- Some self;
+        got := true
+      | Some _ -> Tqueue.push mon.entry self);
+  if not !got then Ops.deschedule_and_clear mon.scratch
+
+(* Pass the monitor to a suspended signaller first, then to an entering
+   thread, else free it.  Returns the thread to ready, if any. *)
+let pass_on mon =
+  match Tqueue.pop mon.urgent with
+  | Some u ->
+    mon.holder <- Some u;
+    Some u
+  | None -> (
+    match Tqueue.pop mon.entry with
+    | Some e ->
+      mon.holder <- Some e;
+      Some e
+    | None ->
+      mon.holder <- None;
+      None)
+
+let exit mon =
+  let next = ref None in
+  atomically (fun () -> next := pass_on mon);
+  match !next with Some t -> Ops.ready t | None -> ()
+
+let with_monitor mon f =
+  enter mon;
+  Fun.protect ~finally:(fun () -> exit mon) f
+
+let wait c =
+  let self = Ops.self () in
+  let next = ref None in
+  atomically (fun () ->
+      Tqueue.push c.hq self;
+      next := pass_on c.mon);
+  (match !next with Some t -> Ops.ready t | None -> ());
+  Ops.deschedule_and_clear c.mon.scratch
+(* On return the signaller has handed us the monitor: predicate intact. *)
+
+let signal c =
+  let self = Ops.self () in
+  let woke = ref None in
+  atomically (fun () ->
+      match Tqueue.pop c.hq with
+      | Some w ->
+        (* Hand over the monitor and step aside onto the urgent queue. *)
+        c.mon.holder <- Some w;
+        Tqueue.push c.mon.urgent self;
+        c.mon.switch_count <- c.mon.switch_count + 2;
+        woke := Some w
+      | None -> ());
+  match !woke with
+  | Some w ->
+    Ops.incr_counter "hoare.switches";
+    Ops.ready w;
+    Ops.deschedule_and_clear c.mon.scratch
+  | None -> ()
+
+let switches mon = mon.switch_count

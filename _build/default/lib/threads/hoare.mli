@@ -1,0 +1,40 @@
+(** Hoare-style monitors (Hoare 1974) — the semantics the Threads design
+    deliberately loosened.
+
+    Signal transfers the monitor directly to one waiting thread; the
+    signaller suspends on the urgent queue and resumes when the waiter
+    leaves.  Consequently the waiter's predicate is {e guaranteed} still
+    true on return from [wait] — no re-check loop — at the cost of extra
+    mandatory context switches on every signal.  By contrast the Threads
+    (Mesa-style) Wait is "only a hint": cheaper signals, but waiters must
+    re-evaluate.  Experiment E8 measures the trade on a producer/consumer
+    workload.
+
+    Implemented in the cooperative style (single-instruction atomic
+    actions); no spec events are emitted — Hoare signal mutates the mutex
+    holder, which the Threads specification's [MODIFIES AT MOST \[c\]] for
+    Signal forbids, so this baseline is {e deliberately} not a conforming
+    implementation of the interface (a fact exercised in tests). *)
+
+type monitor
+type cond
+
+val monitor : unit -> monitor
+val condition : monitor -> cond
+
+val enter : monitor -> unit
+val exit : monitor -> unit
+val with_monitor : monitor -> (unit -> 'a) -> 'a
+
+(** [wait c] — atomically leave the monitor and sleep; on return the
+    caller holds the monitor again, woken by exactly one [signal]. *)
+val wait : cond -> unit
+
+(** [signal c] — if a waiter exists, hand it the monitor and suspend the
+    caller on the urgent queue (two forced context switches); otherwise a
+    no-op. *)
+val signal : cond -> unit
+
+(** Context switches forced by signalling (machine counter
+    ["hoare.switches"] also tracks them). *)
+val switches : monitor -> int

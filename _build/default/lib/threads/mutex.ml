@@ -1,0 +1,95 @@
+module Ops = Firefly.Machine.Ops
+module M = Firefly.Machine
+
+type t = {
+  pkg : Pkg.t;
+  bit : int;  (* the Lock-bit *)
+  waiters : int;  (* |queue|, maintained under the spin-lock *)
+  q : Tqueue.t;
+}
+
+let create pkg =
+  let bit = Ops.alloc 1 in
+  let waiters = Ops.alloc 1 in
+  { pkg; bit; waiters; q = Tqueue.create () }
+
+let id m = m.bit
+
+(* Nub subroutine for Acquire: under the spin-lock, enqueue the caller and
+   re-test the Lock-bit.  Still held: deschedule (releasing the spin-lock
+   atomically); the waker leaves us dequeued.  Free: dequeue ourselves,
+   release the spin-lock.  Either way the caller retries from the
+   test-and-set. *)
+let nub_acquire m =
+  Ops.incr_counter "nub.acquire";
+  let self = Ops.self () in
+  Spinlock.acquire m.pkg.lock;
+  Tqueue.push m.q self;
+  Ops.write m.waiters (Tqueue.length m.q);
+  if Ops.read m.bit <> 0 then
+    Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock)
+  else begin
+    ignore (Tqueue.remove m.q self);
+    Ops.write m.waiters (Tqueue.length m.q);
+    Spinlock.release m.pkg.lock
+  end
+
+(* Nub subroutine for Release: take one queued thread (if any) and ready
+   it. *)
+let nub_release m =
+  Ops.incr_counter "nub.release";
+  Spinlock.acquire m.pkg.lock;
+  (match Tqueue.pop m.q with
+  | Some t ->
+    Ops.write m.waiters (Tqueue.length m.q);
+    Ops.ready t
+  | None -> ());
+  Spinlock.release m.pkg.lock
+
+let rec lock_internal m ~event =
+  if m.pkg.fast_path then begin
+    let old =
+      Ops.mem_emit (M.M_tas m.bit) (fun old ->
+          if old = 0 then event () else None)
+    in
+    if old <> 0 then begin
+      nub_acquire m;
+      lock_internal m ~event
+    end
+  end
+  else begin
+    (* Ablation: every Acquire goes through the Nub. *)
+    Ops.incr_counter "nub.acquire";
+    Spinlock.acquire m.pkg.lock;
+    let old =
+      Ops.mem_emit (M.M_tas m.bit) (fun old ->
+          if old = 0 then event () else None)
+    in
+    if old = 0 then Spinlock.release m.pkg.lock
+    else begin
+      let self = Ops.self () in
+      Tqueue.push m.q self;
+      Ops.write m.waiters (Tqueue.length m.q);
+      Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock);
+      lock_internal m ~event
+    end
+  end
+
+let unlock_internal m ~event =
+  ignore (Ops.mem_emit (M.M_clear m.bit) (fun _ -> event ()));
+  if m.pkg.fast_path then begin
+    if Ops.read m.waiters <> 0 then nub_release m
+  end
+  else nub_release m
+
+let acquire m =
+  let self = Ops.self () in
+  lock_internal m ~event:(fun () -> Some (Events.acquire ~self ~m:m.bit))
+
+let release m =
+  let self = Ops.self () in
+  unlock_internal m ~event:(fun () -> Some (Events.release ~self ~m:m.bit))
+
+let with_lock m f =
+  acquire m;
+  Fun.protect ~finally:(fun () -> release m) f

@@ -1,0 +1,49 @@
+(** Mutexes, as implemented on the Firefly (paper, Implementation):
+    a pair (Lock-bit, Queue).
+
+    The user-space fast path is the in-line code the paper credits with the
+    5-instruction uncontended LOCK clause: Acquire is one test-and-set
+    (plus a Nub call if the bit was set); Release clears the bit and calls
+    the Nub only if the queue is non-empty (observed through the [waiters]
+    word maintained under the spin-lock).
+
+    The Nub slow path follows the paper exactly: enqueue the caller,
+    re-test the bit, deschedule if still held, otherwise dequeue and retry
+    the whole Acquire from the test-and-set.
+
+    The implementation does not record which thread holds the mutex — the
+    paper points this out as a place where the specification (Mutex =
+    Thread) abstracts away from the representation. *)
+
+type t
+
+(** [create pkg] — allocates the lock bit and waiter count. *)
+val create : Pkg.t -> t
+
+(** The identity used in trace events (the lock-bit address). *)
+val id : t -> int
+
+(** Acquire(m): emits the Acquire event at the successful test-and-set. *)
+val acquire : t -> unit
+
+(** Release(m): emits the Release event atomically with the bit clear.
+    REQUIRES m = SELF is the caller's obligation (the implementation
+    cannot check it — it does not know the holder). *)
+val release : t -> unit
+
+(** [with_lock m f] is the LOCK m DO f() END sugar: Acquire, then f,
+    with Release guaranteed on both normal and exceptional exit. *)
+val with_lock : t -> (unit -> 'a) -> 'a
+
+(** {1 Internal entry points for the condition-variable implementation}
+
+    Wait's unlock/relock must not emit Acquire/Release events — their
+    visible effects belong to Wait's own Enqueue/Resume actions. *)
+
+(** [lock_internal m ~event] — acquire, emitting [event ()] (if any)
+    atomically with the winning test-and-set. *)
+val lock_internal : t -> event:(unit -> Firefly.Trace.event option) -> unit
+
+(** [unlock_internal m ~event] — release, emitting [event ()] atomically
+    with the bit clear. *)
+val unlock_internal : t -> event:(unit -> Firefly.Trace.event option) -> unit

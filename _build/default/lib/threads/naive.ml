@@ -1,0 +1,33 @@
+module Ops = Firefly.Machine.Ops
+
+type t = {
+  sem : Semaphore.t;
+  nwaiters : int;  (* addr: waiters registered before releasing the mutex *)
+}
+
+let create pkg =
+  let sem = Semaphore.create pkg in
+  (* A condition's semaphore must start unavailable so P blocks until a
+     Signal's V. *)
+  Semaphore.p sem;
+  { sem; nwaiters = Ops.alloc 1 }
+
+let wait t m =
+  ignore (Ops.faa t.nwaiters 1);
+  Mutex.release m;
+  Semaphore.p t.sem;
+  ignore (Ops.faa t.nwaiters (-1));
+  Mutex.acquire m
+
+let signal t = Semaphore.v t.sem
+
+let broadcast t =
+  (* One V per waiter seen now; Vs on an already-available binary semaphore
+     coalesce, so this loses wakeups — the paper's impossibility argument
+     made operational. *)
+  let n = Ops.read t.nwaiters in
+  for _ = 1 to n do
+    Semaphore.v t.sem
+  done
+
+let waiters t = Ops.read t.nwaiters

@@ -1,0 +1,13 @@
+(** A Threads-package instance: the Nub's global spin-lock, the alerting
+    machinery, and configuration.  One per simulated machine run; create it
+    inside the root simulated thread. *)
+
+type t = {
+  lock : Spinlock.t;
+  alerts : Alerts.t;
+  fast_path : bool;
+      (** when false, Acquire/Release/P/V/Signal/Broadcast always enter the
+          Nub — the ablation of experiment E6 *)
+}
+
+val create : ?fast_path:bool -> unit -> t

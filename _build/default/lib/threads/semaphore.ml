@@ -1,0 +1,130 @@
+module Ops = Firefly.Machine.Ops
+module M = Firefly.Machine
+
+type t = {
+  pkg : Pkg.t;
+  bit : int;  (* 0 = available, 1 = unavailable *)
+  waiters : int;
+  q : Tqueue.t;
+}
+
+let create pkg =
+  let bit = Ops.alloc 1 in
+  let waiters = Ops.alloc 1 in
+  { pkg; bit; waiters; q = Tqueue.create () }
+
+let id s = s.bit
+
+(* Nub slow path shared by P and AlertP.  Returns [`Retry] after a wakeup
+   by V, [`Alerted] when the sleep was cancelled (or pre-empted) by an
+   alert, [`Acquired] when the bit turned out to be free on re-test. *)
+let nub_p s ~alertable =
+  Ops.incr_counter "nub.acquire";
+  let self = Ops.self () in
+  Spinlock.acquire s.pkg.lock;
+  if alertable && Alerts.pending s.pkg.alerts self then begin
+    Spinlock.release s.pkg.lock;
+    `Alerted
+  end
+  else begin
+    Tqueue.push s.q self;
+    Ops.write s.waiters (Tqueue.length s.q);
+    if Ops.read s.bit <> 0 then begin
+      if alertable then
+        Alerts.register s.pkg.alerts self (fun () ->
+            ignore (Tqueue.remove s.q self);
+            Ops.ready self);
+      Ops.deschedule_and_clear (Spinlock.addr s.pkg.lock);
+      if alertable && Alerts.take_woken_by_alert s.pkg.alerts self then
+        `Alerted
+      else `Retry
+    end
+    else begin
+      ignore (Tqueue.remove s.q self);
+      Ops.write s.waiters (Tqueue.length s.q);
+      Spinlock.release s.pkg.lock;
+      `Retry
+    end
+  end
+
+let try_tas s ~event =
+  Ops.mem_emit (M.M_tas s.bit) (fun old -> if old = 0 then event () else None)
+  = 0
+
+let rec p_loop s ~alertable ~event =
+  if s.pkg.fast_path then begin
+    if not (try_tas s ~event) then
+      match nub_p s ~alertable with
+      | `Alerted -> `Alerted
+      | `Retry | `Acquired -> p_loop s ~alertable ~event
+    else `Acquired
+  end
+  else begin
+    (* Ablation: always through the Nub. *)
+    Ops.incr_counter "nub.acquire";
+    Spinlock.acquire s.pkg.lock;
+    let got = try_tas s ~event in
+    if got then begin
+      Spinlock.release s.pkg.lock;
+      `Acquired
+    end
+    else begin
+      let self = Ops.self () in
+      if alertable && Alerts.pending s.pkg.alerts self then begin
+        Spinlock.release s.pkg.lock;
+        `Alerted
+      end
+      else begin
+        Tqueue.push s.q self;
+        Ops.write s.waiters (Tqueue.length s.q);
+        if alertable then
+          Alerts.register s.pkg.alerts self (fun () ->
+              ignore (Tqueue.remove s.q self);
+              Ops.ready self);
+        Ops.deschedule_and_clear (Spinlock.addr s.pkg.lock);
+        if alertable && Alerts.take_woken_by_alert s.pkg.alerts self then
+          `Alerted
+        else p_loop s ~alertable ~event
+      end
+    end
+  end
+
+let p s =
+  let self = Ops.self () in
+  match
+    p_loop s ~alertable:false ~event:(fun () ->
+        Some (Events.p ~self ~s:s.bit))
+  with
+  | `Acquired -> ()
+  | `Alerted -> assert false
+
+let v s =
+  let self = Ops.self () in
+  ignore
+    (Ops.mem_emit (M.M_clear s.bit) (fun _ -> Some (Events.v ~self ~s:s.bit)));
+  if (not s.pkg.fast_path) || Ops.read s.waiters <> 0 then begin
+    Ops.incr_counter "nub.release";
+    Spinlock.acquire s.pkg.lock;
+    (match Tqueue.pop s.q with
+    | Some t ->
+      Ops.write s.waiters (Tqueue.length s.q);
+      Alerts.unregister s.pkg.alerts t;
+      Ops.ready t
+    | None -> ());
+    Spinlock.release s.pkg.lock
+  end
+
+let alert_p s =
+  let self = Ops.self () in
+  match
+    p_loop s ~alertable:true ~event:(fun () ->
+        Some (Events.alert_p ~self ~s:s.bit ~alerted:false))
+  with
+  | `Acquired -> ()
+  | `Alerted ->
+    (* Consume the pending alert atomically with the Raises event. *)
+    ignore
+      (Ops.mem_emit M.M_none (fun _ ->
+           Alerts.consume_pending s.pkg.alerts self;
+           Some (Events.alert_p ~self ~s:s.bit ~alerted:true)));
+    raise Sync_intf.Alerted

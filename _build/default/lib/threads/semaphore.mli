@@ -1,0 +1,27 @@
+(** Binary semaphores with P and V.
+
+    "The implementation of semaphores is identical to mutexes: P is the
+    same as Acquire and V is the same as Release" (paper) — and indeed this
+    module reuses the mutex structure (bit + queue + Nub retry loop), but
+    the {e interface} is distinct: there is no notion of a holder, no
+    precondition on V, and P/V need not be textually linked.  Client
+    programs relying only on the specified properties of the two types
+    would keep working even if the implementations diverged — the paper's
+    point about insulation.
+
+    AlertP adds alert responsiveness; the RETURNS/RAISES choice when both
+    guards hold is schedule-dependent, as the specification permits. *)
+
+type t
+
+val create : Pkg.t -> t
+
+(** The identity used in trace events. *)
+val id : t -> int
+
+val p : t -> unit
+val v : t -> unit
+
+(** @raise Sync_intf.Alerted when the thread is alerted rather than
+    acquiring the semaphore. *)
+val alert_p : t -> unit

@@ -1,0 +1,14 @@
+module Ops = Firefly.Machine.Ops
+
+type t = { bit : int }
+
+let create () = { bit = Ops.alloc 1 }
+
+let rec acquire l =
+  if Ops.tas l.bit then begin
+    Ops.incr_counter "spin.iterations";
+    acquire l
+  end
+
+let release l = Ops.clear l.bit
+let addr l = l.bit

@@ -1,0 +1,21 @@
+(** The Nub's primitive mutual-exclusion mechanism: a globally shared bit
+    acquired by busy-waiting in a test-and-set loop and released by
+    clearing the bit (paper, Implementation section).
+
+    Nub subroutines bracket their visible actions with [acquire]/[release];
+    the deschedule path releases it atomically via
+    {!Firefly.Machine.Ops.deschedule_and_clear}. *)
+
+type t
+
+(** [create ()] — allocates the lock bit (thread context). *)
+val create : unit -> t
+
+(** [acquire l] busy-waits until the bit is won.  Spin iterations are
+    counted under the machine counter ["spin.iterations"]. *)
+val acquire : t -> unit
+
+val release : t -> unit
+
+(** The lock-bit address, for [deschedule_and_clear]. *)
+val addr : t -> int

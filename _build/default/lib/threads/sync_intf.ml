@@ -1,0 +1,67 @@
+(** The client-facing signature of the Threads synchronization interface.
+
+    Every backend — the Firefly simulation ({!Api.Sim}), the cooperative
+    uniprocessor version ({!Uniproc}), and the real-parallelism OCaml 5
+    implementation ([threads_multicore]) — provides this signature, so
+    client programs (examples, workloads, tests) are backend-generic:
+    exactly the insulation the paper says the specification gives its
+    clients. *)
+
+(** The exception of the alerting facility. *)
+exception Alerted
+
+module type SYNC = sig
+  type mutex
+  type condition
+  type semaphore
+  type thread
+
+  (** {1 Object creation} *)
+
+  val mutex : unit -> mutex
+  val condition : unit -> condition
+  val semaphore : unit -> semaphore
+
+  (** {1 Mutual exclusion} *)
+
+  val acquire : mutex -> unit
+  val release : mutex -> unit
+
+  (** [with_lock m f] is Modula-2+'s [LOCK m DO f() END]: Release runs on
+      both normal and exceptional exit. *)
+  val with_lock : mutex -> (unit -> 'a) -> 'a
+
+  (** {1 Condition variables} *)
+
+  val wait : mutex -> condition -> unit
+  val signal : condition -> unit
+  val broadcast : condition -> unit
+
+  (** {1 Semaphores} *)
+
+  val p : semaphore -> unit
+  val v : semaphore -> unit
+
+  (** {1 Alerting} *)
+
+  val alert : thread -> unit
+  val test_alert : unit -> bool
+
+  (** @raise Alerted instead of returning when alerted. *)
+  val alert_wait : mutex -> condition -> unit
+
+  (** @raise Alerted instead of returning when alerted. *)
+  val alert_p : semaphore -> unit
+
+  (** {1 Threads} *)
+
+  val self : unit -> thread
+  val fork : (unit -> unit) -> thread
+  val join : thread -> unit
+  val yield : unit -> unit
+end
+
+(** A backend packaged with its runner. *)
+module type BACKEND = sig
+  module Make (_ : sig end) : SYNC
+end

@@ -1,0 +1,29 @@
+module Tid = Threads_util.Tid
+
+(* Head-first list; push is O(n) but queues are short (blocked threads). *)
+type t = { mutable items : Tid.t list }
+
+let create () = { items = [] }
+let is_empty q = q.items = []
+let length q = List.length q.items
+let push q t = q.items <- q.items @ [ t ]
+
+let pop q =
+  match q.items with
+  | [] -> None
+  | x :: rest ->
+    q.items <- rest;
+    Some x
+
+let pop_all q =
+  let all = q.items in
+  q.items <- [];
+  all
+
+let remove q t =
+  let present = List.mem t q.items in
+  if present then q.items <- List.filter (fun x -> not (Tid.equal x t)) q.items;
+  present
+
+let mem q t = List.mem t q.items
+let elements q = q.items

@@ -1,0 +1,27 @@
+(** FIFO queues of thread ids with arbitrary removal (for alert
+    cancellation).  These model the Nub's queues of blocked threads; they
+    are plain OCaml state because they are only touched under the global
+    spin-lock (or inside a single atomic simulator step), never
+    concurrently. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+
+(** [push q t] appends at the tail. *)
+val push : t -> Threads_util.Tid.t -> unit
+
+(** [pop q] removes and returns the head, if any. *)
+val pop : t -> Threads_util.Tid.t option
+
+(** [pop_all q] removes and returns everything, head first. *)
+val pop_all : t -> Threads_util.Tid.t list
+
+(** [remove q t] removes [t] wherever it is; returns whether it was
+    present. *)
+val remove : t -> Threads_util.Tid.t -> bool
+
+val mem : t -> Threads_util.Tid.t -> bool
+val elements : t -> Threads_util.Tid.t list

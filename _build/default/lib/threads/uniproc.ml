@@ -1,0 +1,256 @@
+module Ops = Firefly.Machine.Ops
+module M = Firefly.Machine
+module Tid = Threads_util.Tid
+
+type sync = (module Sync_intf.SYNC with type thread = Tid.t)
+
+type mu = { mutable holder : Tid.t option; mq : Tqueue.t; mid : int }
+
+type cond = {
+  cq : Tqueue.t;
+  departing : (Tid.t, unit) Hashtbl.t;
+  cid : int;
+}
+
+type sem = { mutable avail : bool; sq : Tqueue.t; sid : int }
+
+type state = {
+  mutable pending : Tid.Set.t;
+  cancels : (Tid.t, unit -> unit) Hashtbl.t;
+  woken : (Tid.t, unit) Hashtbl.t;
+  scratch : int;  (* dummy word for deschedule_and_clear *)
+  mutable next_id : int;
+}
+
+let fresh_id st =
+  st.next_id <- st.next_id + 1;
+  st.next_id
+
+(* Commit an atomic action: run [f] and emit its event in one instruction. *)
+let atomically f = ignore (Ops.mem_emit M.M_none (fun _ -> f ()))
+
+let block st = Ops.deschedule_and_clear st.scratch
+
+let take_woken st self =
+  if Hashtbl.mem st.woken self then begin
+    Hashtbl.remove st.woken self;
+    true
+  end
+  else false
+
+let rec lock_loop st m ~event =
+  let self = Ops.self () in
+  let got = ref false in
+  atomically (fun () ->
+      match m.holder with
+      | None ->
+        m.holder <- Some self;
+        got := true;
+        event ()
+      | Some _ ->
+        Tqueue.push m.mq self;
+        None);
+  if not !got then begin
+    block st;
+    lock_loop st m ~event
+  end
+
+let unlock _st m ~event =
+  atomically (fun () ->
+      m.holder <- None;
+      event ());
+  (* Hand the next queued acquirer a chance; it re-checks on wake. *)
+  match Tqueue.pop m.mq with Some t -> Ops.ready t | None -> ()
+
+let wait_generic st c m ~proc ~alertable =
+  let self = Ops.self () in
+  let alerted_now = ref false in
+  (* Enqueue: join c and release m in one atomic action.  An alertable
+     wait with an alert already pending joins c only abstractly (the
+     departing set) and skips the sleep — AlertResume will raise. *)
+  atomically (fun () ->
+      (if alertable && Tid.Set.mem self st.pending then begin
+         alerted_now := true;
+         Hashtbl.replace c.departing self ()
+       end
+       else begin
+         Tqueue.push c.cq self;
+         if alertable then
+           Hashtbl.replace st.cancels self (fun () ->
+               ignore (Tqueue.remove c.cq self);
+               Hashtbl.replace c.departing self ();
+               Ops.ready self)
+       end);
+      m.holder <- None;
+      Some (Events.enqueue ~proc ~self ~m:m.mid ~c:c.cid));
+  (match Tqueue.pop m.mq with Some t -> Ops.ready t | None -> ());
+  if not !alerted_now then block st;
+  let raise_it =
+    alertable
+    && (!alerted_now || take_woken st self || Tid.Set.mem self st.pending)
+  in
+  Hashtbl.remove st.cancels self;
+  let event () =
+    if alertable then begin
+      Hashtbl.remove c.departing self;
+      if raise_it then st.pending <- Tid.Set.remove self st.pending;
+      Some (Events.alert_resume ~self ~m:m.mid ~c:c.cid ~alerted:raise_it)
+    end
+    else Some (Events.resume ~self ~m:m.mid ~c:c.cid)
+  in
+  lock_loop st m ~event;
+  if raise_it then raise Sync_intf.Alerted
+
+let wake_cond st c ~take_all ~self =
+  let to_ready = ref [] in
+  atomically (fun () ->
+      let from_q =
+        if take_all then Tqueue.pop_all c.cq
+        else match Tqueue.pop c.cq with Some t -> [ t ] | None -> []
+      in
+      let from_departing =
+        Hashtbl.fold (fun t () acc -> t :: acc) c.departing []
+      in
+      List.iter (fun t -> Hashtbl.remove st.cancels t) from_q;
+      to_ready := from_q;
+      let removed = from_q @ from_departing in
+      Some
+        (if take_all then Events.broadcast ~self ~c:c.cid ~removed
+         else Events.signal ~self ~c:c.cid ~removed));
+  List.iter Ops.ready !to_ready
+
+let rec p_loop st s ~alertable ~event =
+  let self = Ops.self () in
+  let outcome = ref `Blocked in
+  atomically (fun () ->
+      if s.avail then begin
+        s.avail <- false;
+        outcome := `Got;
+        event ()
+      end
+      else if alertable && Tid.Set.mem self st.pending then begin
+        outcome := `Alerted;
+        None
+      end
+      else begin
+        Tqueue.push s.sq self;
+        if alertable then
+          Hashtbl.replace st.cancels self (fun () ->
+              ignore (Tqueue.remove s.sq self);
+              Ops.ready self);
+        None
+      end);
+  match !outcome with
+  | `Got -> `Acquired
+  | `Alerted -> `Alerted
+  | `Blocked ->
+    block st;
+    Hashtbl.remove st.cancels self;
+    if alertable && take_woken st self then `Alerted
+    else p_loop st s ~alertable ~event
+
+let make () : sync =
+  let st =
+    {
+      pending = Tid.Set.empty;
+      cancels = Hashtbl.create 8;
+      woken = Hashtbl.create 8;
+      scratch = Ops.alloc 1;
+      next_id = 0;
+    }
+  in
+  (module struct
+    type mutex = mu
+    type condition = cond
+    type semaphore = sem
+    type thread = Tid.t
+
+    let mutex () = { holder = None; mq = Tqueue.create (); mid = fresh_id st }
+
+    let condition () =
+      { cq = Tqueue.create (); departing = Hashtbl.create 4; cid = fresh_id st }
+
+    let semaphore () =
+      { avail = true; sq = Tqueue.create (); sid = fresh_id st }
+
+    let acquire m =
+      let self = Ops.self () in
+      lock_loop st m ~event:(fun () -> Some (Events.acquire ~self ~m:m.mid))
+
+    let release m =
+      let self = Ops.self () in
+      unlock st m ~event:(fun () -> Some (Events.release ~self ~m:m.mid))
+
+    let with_lock m f =
+      acquire m;
+      Fun.protect ~finally:(fun () -> release m) f
+
+    let wait m c = wait_generic st c m ~proc:"Wait" ~alertable:false
+
+    let signal c = wake_cond st c ~take_all:false ~self:(Ops.self ())
+    let broadcast c = wake_cond st c ~take_all:true ~self:(Ops.self ())
+
+    let p s =
+      let self = Ops.self () in
+      match
+        p_loop st s ~alertable:false ~event:(fun () ->
+            Some (Events.p ~self ~s:s.sid))
+      with
+      | `Acquired -> ()
+      | `Alerted -> assert false
+
+    let v s =
+      let self = Ops.self () in
+      atomically (fun () ->
+          s.avail <- true;
+          Some (Events.v ~self ~s:s.sid));
+      match Tqueue.pop s.sq with Some t -> Ops.ready t | None -> ()
+
+    let alert target =
+      let self = Ops.self () in
+      atomically (fun () ->
+          st.pending <- Tid.Set.add target st.pending;
+          Some (Events.alert ~self ~target));
+      match Hashtbl.find_opt st.cancels target with
+      | Some cancel ->
+        Hashtbl.remove st.cancels target;
+        Hashtbl.replace st.woken target ();
+        cancel ()
+      | None -> ()
+
+    let test_alert () =
+      let self = Ops.self () in
+      let was = ref false in
+      atomically (fun () ->
+          was := Tid.Set.mem self st.pending;
+          st.pending <- Tid.Set.remove self st.pending;
+          Some (Events.test_alert ~self ~result:!was));
+      !was
+
+    let alert_wait m c = wait_generic st c m ~proc:"AlertWait" ~alertable:true
+
+    let alert_p s =
+      let self = Ops.self () in
+      match
+        p_loop st s ~alertable:true ~event:(fun () ->
+            Some (Events.alert_p ~self ~s:s.sid ~alerted:false))
+      with
+      | `Acquired -> ()
+      | `Alerted ->
+        atomically (fun () ->
+            st.pending <- Tid.Set.remove self st.pending;
+            Some (Events.alert_p ~self ~s:s.sid ~alerted:true));
+        raise Sync_intf.Alerted
+
+    let self () = Ops.self ()
+    let fork f = Ops.spawn f
+    let join = Ops.join
+    let yield = Ops.yield
+  end)
+
+let run ?seed ?strategy ?max_steps body =
+  let strategy =
+    match strategy with Some s -> s | None -> Firefly.Sched.round_robin ()
+  in
+  Firefly.Interleave.run ?max_steps ~strategy ?seed (fun machine ->
+      ignore (Firefly.Machine.spawn_root machine (fun () -> body (make ()))))

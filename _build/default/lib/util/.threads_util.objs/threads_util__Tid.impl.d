@@ -1,0 +1,1 @@
+lib/util/tid.ml: Format Int List Set String

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (schedulers, workload
+    generators, seed sweeps) draws from this generator so that any run is
+    reproducible from its integer seed alone.  We deliberately avoid
+    [Stdlib.Random] to keep the stream independent of OCaml version. *)
+
+type t
+
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [next t] returns the next raw 62-bit non-negative integer. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [pick t arr] returns a uniformly chosen element of [arr].
+    Requires [arr] non-empty. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t xs] returns a uniformly chosen element of [xs].
+    Requires [xs] non-empty. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives a new generator whose stream is independent of the
+    parent's subsequent draws. *)
+val split : t -> t

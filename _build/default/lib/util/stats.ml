@@ -1,0 +1,52 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean samples =
+  assert (samples <> []);
+  List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let stddev samples =
+  let m = mean samples in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
+  sqrt (sq /. float_of_int (List.length samples))
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  assert (n > 0 && p >= 0.0 && p <= 100.0);
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize samples =
+  assert (samples <> []);
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  {
+    n = Array.length sorted;
+    mean = mean samples;
+    stddev = stddev samples;
+    min = sorted.(0);
+    max = sorted.(Array.length sorted - 1);
+    p50 = percentile 50.0 sorted;
+    p90 = percentile 90.0 sorted;
+    p99 = percentile 99.0 sorted;
+  }
+
+let summarize_ints samples = summarize (List.map float_of_int samples)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "mean=%.2f sd=%.2f p50=%.2f p99=%.2f (n=%d)" s.mean
+    s.stddev s.p50 s.p99 s.n

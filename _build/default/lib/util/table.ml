@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns ~title headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter (function Cells c -> update c | Rule -> ()) rows;
+  let buf = Buffer.create 256 in
+  let rule_line () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth t.aligns i in
+        Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule_line ();
+  emit_cells t.headers;
+  rule_line ();
+  List.iter (function Cells c -> emit_cells c | Rule -> rule_line ()) rows;
+  rule_line ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_ratio x = Printf.sprintf "%.2fx" x
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,36 @@
+(** Fixed-width ASCII tables for experiment output.
+
+    Every experiment in the harness reports its results through this module
+    so that [repro run E#] output has a uniform, diffable format. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title headers] starts a table.  Column alignment defaults to
+    [Right] for every column; override with [?aligns]. *)
+val create : ?aligns:align list -> title:string -> string list -> t
+
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the cell
+    count differs from the header count. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal rule between rows. *)
+val add_rule : t -> unit
+
+(** [render t] returns the table as a string ending in a newline. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+
+(** [cell_ratio x] formats a speedup/ratio as e.g. ["3.42x"]. *)
+val cell_ratio : float -> string
+
+(** [cell_pct x] formats a fraction [x] as a percentage, e.g. ["12.5%"]. *)
+val cell_pct : float -> string

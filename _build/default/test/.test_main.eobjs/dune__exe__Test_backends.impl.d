@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Firefly Format List Printexc Printf Queue Spec_core String Taos_threads Threads_model Threads_util

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest List Printf Proc Sort Spec_core Threads_harness Threads_interface Threads_model

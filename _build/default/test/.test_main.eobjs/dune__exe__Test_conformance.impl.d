@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Firefly List Spec_core Threads_interface Threads_model

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Firefly List Spec_core Taos_threads Threads_model Threads_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Firefly List Printf Spec_core String Threads_harness Threads_model

@@ -1,0 +1,1 @@
+test/test_lsl.ml: Alcotest Format List Lsl QCheck QCheck_alcotest Spec_core String Threads_util Value

@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Atomic List Queue Threads_multicore

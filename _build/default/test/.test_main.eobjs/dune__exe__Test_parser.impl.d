@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Formula Lexer List Parser Printer Proc QCheck QCheck_alcotest Spec_core String Sys Term Threads_interface Value

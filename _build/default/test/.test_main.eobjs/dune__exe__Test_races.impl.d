@@ -1,0 +1,1 @@
+test/test_races.ml: Alcotest Firefly List Printf Spec_core Taos_threads Threads_model Threads_util

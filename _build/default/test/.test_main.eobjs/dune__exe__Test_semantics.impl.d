@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Gen List Option Printf Proc QCheck QCheck_alcotest Semantics Sort Spec_core Spec_obj State String Threads_interface Threads_util Value

@@ -1,0 +1,1 @@
+test/test_spec_values.ml: Alcotest Formula List Parser QCheck QCheck_alcotest Sort Spec_core Spec_obj State Term Threads_util Value

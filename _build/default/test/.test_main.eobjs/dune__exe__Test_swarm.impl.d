@@ -1,0 +1,1 @@
+test/test_swarm.ml: Array Firefly Format List Printexc Printf QCheck QCheck_alcotest Spec_core String Taos_threads Threads_model Threads_util

@@ -1,0 +1,1 @@
+test/test_tqueue.ml: Alcotest List QCheck QCheck_alcotest Taos_threads Test

@@ -1,0 +1,215 @@
+(* Direct tests of the trace-conformance checker on hand-crafted traces. *)
+
+open Spec_core
+module T = Firefly.Trace
+module Conf = Threads_model.Conformance
+
+let ev ?action ?(outcome = T.Ret) ?result_bool ?(removed = []) proc self args =
+  T.make ~proc ?action ~self ~args ~outcome ?result_bool ~removed ()
+
+let m_arg = ("m", T.Obj 100)
+let c_arg = ("c", T.Obj 200)
+let s_arg = ("s", T.Obj 300)
+
+let check ?(iface = Threads_interface.final) trace = Conf.check iface trace
+
+let test_simple_lock () =
+  let r =
+    check
+      [
+        ev "Acquire" 1 [ m_arg ];
+        ev "Release" 1 [ m_arg ];
+        ev "Acquire" 2 [ m_arg ];
+        ev "Release" 2 [ m_arg ];
+      ]
+  in
+  Alcotest.(check bool) "accepted" true (Conf.ok r);
+  Alcotest.(check int) "events" 4 r.Conf.events;
+  Alcotest.(check int) "no requires issues" 0
+    (List.length r.Conf.requires_violations)
+
+let test_double_acquire_rejected () =
+  let r =
+    check [ ev "Acquire" 1 [ m_arg ]; ev "Acquire" 2 [ m_arg ] ]
+  in
+  Alcotest.(check bool) "rejected" false (Conf.ok r);
+  Alcotest.(check int) "second event flagged" 1
+    (List.length r.Conf.errors)
+
+let test_release_by_stranger () =
+  (* Release's effect satisfies its (unconditional) ENSURES, but REQUIRES
+     m = SELF is the caller's obligation: flagged separately. *)
+  let r =
+    check [ ev "Acquire" 1 [ m_arg ]; ev "Release" 2 [ m_arg ] ]
+  in
+  Alcotest.(check bool) "spec-level ok" true (Conf.ok r);
+  Alcotest.(check int) "caller flagged" 1
+    (List.length r.Conf.requires_violations)
+
+let test_wait_composition_order () =
+  let ok_trace =
+    [
+      ev "Acquire" 1 [ m_arg ];
+      ev "Wait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+      ev "Signal" 2 ~removed:[ 1 ] [ c_arg ];
+      ev "Wait" ~action:"Resume" 1 [ m_arg; c_arg ];
+      ev "Release" 1 [ m_arg ];
+    ]
+  in
+  Alcotest.(check bool) "wait accepted" true (Conf.ok (check ok_trace));
+  (* Resume without Enqueue *)
+  let bad = [ ev "Wait" ~action:"Resume" 1 [ m_arg; c_arg ] ] in
+  Alcotest.(check bool) "bare resume rejected" false (Conf.ok (check bad));
+  (* Resume before the signal removes the thread *)
+  let too_early =
+    [
+      ev "Acquire" 1 [ m_arg ];
+      ev "Wait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+      ev "Wait" ~action:"Resume" 1 [ m_arg; c_arg ];
+    ]
+  in
+  Alcotest.(check bool) "self-resume rejected" false
+    (Conf.ok (check too_early))
+
+let test_signal_subset_rule () =
+  (* removing a thread not in c is harmless (delete is a no-op; c_post is
+     still a subset), but Broadcast leaving a member is a violation *)
+  let harmless =
+    [
+      ev "Acquire" 1 [ m_arg ];
+      ev "Wait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+      ev "Signal" 2 ~removed:[ 9 ] [ c_arg ];
+    ]
+  in
+  Alcotest.(check bool) "phantom removal fine" true (Conf.ok (check harmless));
+  let bad_broadcast =
+    [
+      ev "Acquire" 1 [ m_arg ];
+      ev "Wait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+      ev "Broadcast" 2 ~removed:[] [ c_arg ];
+    ]
+  in
+  Alcotest.(check bool) "broadcast leaving member rejected" false
+    (Conf.ok (check bad_broadcast))
+
+let test_semaphore_trace () =
+  let r =
+    check
+      [
+        ev "P" 1 [ s_arg ];
+        ev "V" 2 [ s_arg ];
+        (* V by another thread: no REQUIRES on V *)
+        ev "P" 2 [ s_arg ];
+      ]
+  in
+  Alcotest.(check bool) "P/V accepted" true (Conf.ok r);
+  Alcotest.(check int) "no requires issues (V has none)" 0
+    (List.length r.Conf.requires_violations);
+  (* P while unavailable *)
+  let bad = [ ev "P" 1 [ s_arg ]; ev "P" 2 [ s_arg ] ] in
+  Alcotest.(check bool) "double P rejected" false (Conf.ok (check bad))
+
+let test_alert_trace () =
+  let r =
+    check
+      [
+        ev "Alert" 1 [ ("t", T.Thr 2) ];
+        ev "TestAlert" 2 ~result_bool:true [];
+        ev "TestAlert" 2 ~result_bool:false [];
+      ]
+  in
+  Alcotest.(check bool) "alert/test accepted" true (Conf.ok r);
+  (* wrong TestAlert result *)
+  let bad =
+    [
+      ev "Alert" 1 [ ("t", T.Thr 2) ];
+      ev "TestAlert" 2 ~result_bool:false [];
+    ]
+  in
+  Alcotest.(check bool) "wrong result rejected" false (Conf.ok (check bad))
+
+let alert_wait_raise_trace =
+  [
+    ev "Alert" 2 [ ("t", T.Thr 1) ];
+    ev "Acquire" 1 [ m_arg ];
+    ev "AlertWait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+    ev "AlertWait" ~action:"AlertResume" ~outcome:(T.Raise "Alerted") 1
+      [ m_arg; c_arg ];
+  ]
+
+let test_alert_wait_variants () =
+  (* the same trace, judged by three versions of the spec *)
+  Alcotest.(check bool) "final accepts" true
+    (Conf.ok (check alert_wait_raise_trace));
+  (* Nelson's variant requires UNCHANGED [c]; the implementation removes
+     self from c, so the buggy spec rejects the (correct) behaviour *)
+  Alcotest.(check bool) "nelson variant rejects" false
+    (Conf.ok (check ~iface:Threads_interface.nelson_bug alert_wait_raise_trace));
+  (* returning normally while alerted: fine under final, rejected by the
+     original must-raise spec *)
+  let return_while_alerted =
+    [
+      ev "Alert" 2 [ ("t", T.Thr 1) ];
+      ev "Acquire" 1 [ m_arg ];
+      ev "AlertWait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+      ev "Signal" 2 ~removed:[ 1 ] [ c_arg ];
+      ev "AlertWait" ~action:"AlertResume" 1 [ m_arg; c_arg ];
+    ]
+  in
+  Alcotest.(check bool) "final accepts normal return" true
+    (Conf.ok (check return_while_alerted));
+  Alcotest.(check bool) "must-raise rejects" false
+    (Conf.ok (check ~iface:Threads_interface.must_raise return_while_alerted))
+
+let test_missing_guard_variant_is_weaker () =
+  (* Under the missing-guard variant, raising while the mutex is held is
+     allowed (that's the bug); the final spec rejects the same trace. *)
+  let raise_while_held =
+    [
+      ev "Alert" 3 [ ("t", T.Thr 1) ];
+      ev "Acquire" 1 [ m_arg ];
+      ev "AlertWait" ~action:"Enqueue" 1 [ m_arg; c_arg ];
+      ev "Acquire" 2 [ m_arg ];
+      ev "AlertWait" ~action:"AlertResume" ~outcome:(T.Raise "Alerted") 1
+        [ m_arg; c_arg ];
+    ]
+  in
+  Alcotest.(check bool) "buggy variant admits the disaster" true
+    (Conf.ok (check ~iface:Threads_interface.missing_mutex_guard raise_while_held));
+  Alcotest.(check bool) "final rejects it" false
+    (Conf.ok (check raise_while_held))
+
+let test_unknown_proc () =
+  let r = check [ ev "Frobnicate" 1 [] ] in
+  Alcotest.(check bool) "unknown proc rejected" false (Conf.ok r)
+
+let test_object_sort_stability () =
+  (* the same implementation object used as both mutex and condition *)
+  Alcotest.(check bool) "sort clash detected" false
+    (Conf.ok
+       (check
+          [
+            ev "Acquire" 1 [ ("m", T.Obj 7) ];
+            ev "Signal" 1 [ ("c", T.Obj 7) ];
+          ]))
+
+let suite =
+  ( "conformance",
+    [
+      Alcotest.test_case "simple lock trace" `Quick test_simple_lock;
+      Alcotest.test_case "double acquire rejected" `Quick
+        test_double_acquire_rejected;
+      Alcotest.test_case "release by stranger" `Quick test_release_by_stranger;
+      Alcotest.test_case "wait composition order" `Quick
+        test_wait_composition_order;
+      Alcotest.test_case "signal subset rule" `Quick test_signal_subset_rule;
+      Alcotest.test_case "semaphore traces" `Quick test_semaphore_trace;
+      Alcotest.test_case "alert traces" `Quick test_alert_trace;
+      Alcotest.test_case "AlertWait across spec variants" `Quick
+        test_alert_wait_variants;
+      Alcotest.test_case "missing-guard variant is weaker" `Quick
+        test_missing_guard_variant_is_weaker;
+      Alcotest.test_case "unknown procedure" `Quick test_unknown_proc;
+      Alcotest.test_case "object sort stability" `Quick
+        test_object_sort_stability;
+    ] )

@@ -1,0 +1,139 @@
+(* The Larch Shared Language tier: the Set trait is well-sorted and every
+   axiom holds of the Value model the interface tier computes with. *)
+
+open Spec_core
+module Tid = Threads_util.Tid
+
+let test_well_sorted () =
+  Alcotest.(check (list string)) "set trait is well-sorted" []
+    (Lsl.sort_check Lsl.set_trait)
+
+let test_sort_errors_detected () =
+  let bad =
+    {
+      Lsl.tr_name = "bad";
+      tr_ops = Lsl.set_trait.Lsl.tr_ops;
+      tr_eqs =
+        [
+          (* member applied backwards: member(set, elem) *)
+          {
+            Lsl.eq_name = "backwards";
+            left = Lsl.App ("member", [ Lsl.Var ("s", Lsl.L_set);
+                                        Lsl.Var ("e", Lsl.L_elem) ]);
+            right = Lsl.App ("true", []);
+          };
+          (* unknown operator *)
+          {
+            Lsl.eq_name = "unknown";
+            left = Lsl.App ("frob", []);
+            right = Lsl.App ("true", []);
+          };
+          (* sides of different sorts *)
+          {
+            Lsl.eq_name = "cross-sort";
+            left = Lsl.App ("empty", []);
+            right = Lsl.App ("true", []);
+          };
+        ];
+    }
+  in
+  Alcotest.(check int) "three violations" 3
+    (List.length (Lsl.sort_check bad) |> min 3 |> max 3)
+
+let test_sort_errors_nonempty () =
+  let bad =
+    {
+      Lsl.tr_name = "bad2";
+      tr_ops = Lsl.set_trait.Lsl.tr_ops;
+      tr_eqs =
+        [
+          {
+            Lsl.eq_name = "two-sorted-var";
+            left = Lsl.Var ("x", Lsl.L_set);
+            right =
+              Lsl.App ("insert", [ Lsl.App ("empty", []); Lsl.Var ("x", Lsl.L_elem) ]);
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "variable sort clash flagged" true
+    (Lsl.sort_check bad <> [])
+
+let gen_value_of_sort =
+  let open QCheck.Gen in
+  function
+  | Lsl.L_bool -> map (fun b -> Value.Bool b) bool
+  | Lsl.L_elem -> map (fun n -> Value.Thread n) (int_range 0 5)
+  | Lsl.L_set ->
+    map
+      (fun xs -> Value.Set (Tid.Set.of_int_list xs))
+      (list_size (int_range 0 6) (int_range 0 5))
+
+let gen_assignment eq =
+  let open QCheck.Gen in
+  let vars = Lsl.vars_of eq in
+  let rec go = function
+    | [] -> return []
+    | (name, sort) :: rest ->
+      gen_value_of_sort sort >>= fun v ->
+      go rest >>= fun tail -> return ((name, v) :: tail)
+  in
+  go vars
+
+(* One property per axiom, so a failure names the axiom. *)
+let axiom_properties =
+  List.map
+    (fun eq ->
+      QCheck.Test.make
+        ~name:(Format.asprintf "axiom %s" eq.Lsl.eq_name)
+        ~count:500
+        (QCheck.make (gen_assignment eq))
+        (fun assignment -> Lsl.holds Lsl.value_model assignment eq))
+    Lsl.set_trait.Lsl.tr_eqs
+
+(* A wrong axiom must be refuted: delete(insert(s,e),e) = s fails when
+   e was already in s. *)
+let test_wrong_axiom_refuted () =
+  let wrong =
+    {
+      Lsl.eq_name = "delete-insert-naive";
+      left =
+        Lsl.App
+          ("delete", [ Lsl.App ("insert", [ Lsl.Var ("s", Lsl.L_set);
+                                            Lsl.Var ("e", Lsl.L_elem) ]);
+                       Lsl.Var ("e", Lsl.L_elem) ]);
+      right = Lsl.Var ("s", Lsl.L_set);
+    }
+  in
+  let counterexample =
+    [ ("s", Value.Set (Tid.Set.singleton 1)); ("e", Value.Thread 1) ]
+  in
+  Alcotest.(check bool) "refuted" false
+    (Lsl.holds Lsl.value_model counterexample wrong)
+
+let test_eval_errors () =
+  Alcotest.(check bool) "unbound variable" true
+    (try ignore (Lsl.eval Lsl.value_model [] (Lsl.Var ("x", Lsl.L_set))); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "model arity error" true
+    (try ignore (Lsl.eval Lsl.value_model [] (Lsl.App ("insert", []))); false
+     with Invalid_argument _ -> true)
+
+let test_pp () =
+  let eq = List.hd Lsl.set_trait.Lsl.tr_eqs in
+  let s = Format.asprintf "%a" Lsl.pp_equation eq in
+  Alcotest.(check bool) "prints name" true
+    (String.length s > 0 && String.sub s 0 6 = "insert")
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "lsl",
+    [
+      Alcotest.test_case "set trait well-sorted" `Quick test_well_sorted;
+      Alcotest.test_case "sort errors detected" `Quick test_sort_errors_detected;
+      Alcotest.test_case "variable sort clash" `Quick test_sort_errors_nonempty;
+      Alcotest.test_case "wrong axiom refuted" `Quick test_wrong_axiom_refuted;
+      Alcotest.test_case "eval errors" `Quick test_eval_errors;
+      Alcotest.test_case "pretty-printing" `Quick test_pp;
+    ]
+    @ List.map q axiom_properties )

@@ -1,0 +1,367 @@
+(* Tests for the simulator core: memory effects, scheduling, blocking,
+   accounting, interrupts, and atomic emit. *)
+
+module M = Firefly.Machine
+module Ops = Firefly.Machine.Ops
+
+let run_rr ?(max_steps = 100_000) build =
+  Firefly.Interleave.run ~max_steps ~strategy:(Firefly.Sched.round_robin ())
+    build
+
+let completed (r : Firefly.Interleave.report) =
+  match r.verdict with
+  | Firefly.Interleave.Completed -> true
+  | Firefly.Interleave.Deadlock _ | Firefly.Interleave.Step_limit -> false
+
+let no_failures (r : Firefly.Interleave.report) =
+  M.failures r.machine = []
+
+let test_memory_ops () =
+  let out = ref (-1) in
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let a = Ops.alloc 2 in
+               Ops.write a 5;
+               Ops.write (a + 1) 7;
+               let x = Ops.read a + Ops.read (a + 1) in
+               let old = Ops.faa a 10 in
+               assert (old = 5);
+               assert (Ops.read a = 15);
+               assert (not (Ops.tas (a + 1) = false) || Ops.read (a + 1) = 1);
+               out := x)))
+  in
+  Alcotest.(check bool) "completed" true (completed r && no_failures r);
+  Alcotest.(check int) "arith" 12 !out
+
+let test_tas_semantics () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let a = Ops.alloc 1 in
+               assert (Ops.tas a = false);
+               (* was 0: acquired *)
+               assert (Ops.tas a = true);
+               (* was 1: busy *)
+               Ops.clear a;
+               assert (Ops.tas a = false))))
+  in
+  Alcotest.(check bool) "tas" true (completed r && no_failures r)
+
+let test_spawn_join () =
+  let order = ref [] in
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let child =
+                 Ops.spawn (fun () -> order := "child" :: !order)
+               in
+               Ops.join child;
+               order := "parent" :: !order)))
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "join ordering" [ "parent"; "child" ] !order
+
+let test_join_finished () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let child = Ops.spawn (fun () -> ()) in
+               (* spin until the child has finished, then join: must not
+                  block forever *)
+               for _ = 1 to 50 do
+                 Ops.yield ()
+               done;
+               Ops.join child)))
+  in
+  Alcotest.(check bool) "join after finish" true (completed r)
+
+let test_deschedule_ready () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let a = Ops.alloc 1 in
+               Ops.write a 1;
+               let sleeper =
+                 Ops.spawn (fun () -> Ops.deschedule_and_clear a)
+               in
+               (* wait for the sleeper to go down (it clears a) *)
+               while Ops.read a <> 0 do
+                 Ops.yield ()
+               done;
+               Ops.ready sleeper;
+               Ops.join sleeper)))
+  in
+  Alcotest.(check bool) "deschedule/ready" true (completed r && no_failures r)
+
+let test_wakeup_pending () =
+  (* ready() delivered before the deschedule executes must not be lost *)
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let a = Ops.alloc 1 in
+               let self = Ops.self () in
+               (* wake ourselves first: the later deschedule is a no-op *)
+               Ops.ready self;
+               Ops.deschedule_and_clear a)))
+  in
+  Alcotest.(check bool) "wakeup-waiting switch" true
+    (completed r && no_failures r)
+
+let test_deadlock_detection () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let a = Ops.alloc 1 in
+               Ops.deschedule_and_clear a)))
+  in
+  (match r.Firefly.Interleave.verdict with
+  | Firefly.Interleave.Deadlock [ 0 ] -> ()
+  | _ -> Alcotest.fail "expected Deadlock [t0]")
+
+let test_interrupt_cannot_block () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine ~interrupt:true (fun () ->
+               let a = Ops.alloc 1 in
+               Ops.deschedule_and_clear a)))
+  in
+  (match M.failures r.Firefly.Interleave.machine with
+  | [ (0, Failure msg) ] ->
+    Alcotest.(check bool) "message" true
+      (msg = "interrupt routine attempted to block")
+  | _ -> Alcotest.fail "expected interrupt failure")
+
+let test_counters_and_instr () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let a = Ops.alloc 1 in
+               Ops.incr_counter "foo";
+               Ops.incr_counter "foo";
+               Ops.write a 1;
+               Ops.tick 100)))
+  in
+  let m = r.Firefly.Interleave.machine in
+  Alcotest.(check int) "counter" 2 (M.counter m "foo");
+  Alcotest.(check int) "missing counter" 0 (M.counter m "bar");
+  Alcotest.(check int) "instructions (write + tick)" 2 (M.total_instructions m);
+  Alcotest.(check int) "cycles (1 + 100)" 101 (M.total_cycles m)
+
+let test_mem_emit_atomicity () =
+  (* Two threads each do mem_emit(tas); exactly one event must be emitted,
+     by the winner, regardless of schedule. *)
+  for seed = 0 to 50 do
+    let r =
+      Firefly.Interleave.run ~seed (fun machine ->
+          ignore
+            (M.spawn_root machine (fun () ->
+                 let a = Ops.alloc 1 in
+                 let contender () =
+                   (* capture self outside the thunk: thunks run inside the
+                      machine step and must not perform effects *)
+                   let self = Ops.self () in
+                   ignore
+                     (Ops.mem_emit (M.M_tas a) (fun old ->
+                          if old = 0 then
+                            Some
+                              (Firefly.Trace.make ~proc:"Win" ~self ~args:[]
+                                 ())
+                          else None))
+                 in
+                 let t1 = Ops.spawn contender in
+                 let t2 = Ops.spawn contender in
+                 Ops.join t1;
+                 Ops.join t2)))
+    in
+    let events = M.trace r.Firefly.Interleave.machine in
+    Alcotest.(check int)
+      (Printf.sprintf "one winner (seed %d)" seed)
+      1 (List.length events)
+  done
+
+let test_determinism () =
+  let run seed =
+    let r =
+      Firefly.Interleave.run ~seed (fun machine ->
+          ignore
+            (M.spawn_root machine (fun () ->
+                 let a = Ops.alloc 1 in
+                 let worker () =
+                   for _ = 1 to 10 do
+                     ignore (Ops.faa a 1)
+                   done;
+                   Ops.emit
+                     (Firefly.Trace.make ~proc:"done" ~self:(Ops.self ())
+                        ~args:[] ())
+                 in
+                 let ts = List.init 3 (fun _ -> Ops.spawn worker) in
+                 List.iter Ops.join ts)))
+    in
+    List.map
+      (fun (e : Firefly.Trace.event) -> e.self)
+      (M.trace r.Firefly.Interleave.machine)
+  in
+  Alcotest.(check (list int)) "same seed, same trace" (run 9) (run 9);
+  Alcotest.(check bool) "steps reproducible" true (run 3 = run 3)
+
+let test_timed_driver () =
+  let report =
+    Firefly.Timed.run ~processors:2 (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let worker () = Ops.tick 1000 in
+               let a = Ops.spawn worker in
+               let b = Ops.spawn worker in
+               Ops.join a;
+               Ops.join b)))
+  in
+  (match report.Firefly.Timed.verdict with
+  | Firefly.Timed.Completed -> ()
+  | _ -> Alcotest.fail "timed run incomplete");
+  (* two 1000-cycle jobs on two processors should overlap: elapsed well
+     under the serial 2000 plus overheads *)
+  Alcotest.(check bool) "parallel speedup" true
+    (report.Firefly.Timed.sim_cycles < 1900);
+  Alcotest.(check bool) "busy cycles counted" true
+    (report.Firefly.Timed.busy_cycles >= 2000)
+
+let test_replay_strategy () =
+  (* replay must follow the recorded prefix *)
+  let r =
+    Firefly.Interleave.run
+      ~strategy:(Firefly.Sched.replay [ 0; 0; 0 ] (Firefly.Sched.round_robin ()))
+      (fun machine ->
+        ignore (M.spawn_root machine (fun () -> Ops.tick 1)))
+  in
+  Alcotest.(check bool) "replay run completes" true (completed r)
+
+let test_explore_finds_race () =
+  (* Classic lost-update: two threads do read;write with no lock.  The
+     explorer must find a schedule where the final value is 1, not 2. *)
+  let final = ref 0 in
+  let build machine =
+    ignore
+      (M.spawn_root machine (fun () ->
+           let a = Ops.alloc 1 in
+           let incr () =
+             let v = Ops.read a in
+             Ops.write a (v + 1)
+           in
+           let t1 = Ops.spawn incr in
+           let t2 = Ops.spawn incr in
+           Ops.join t1;
+           Ops.join t2;
+           final := Ops.read a))
+  in
+  let err, stats =
+    Firefly.Explore.explore ~max_depth:200 ~build (fun outcome ->
+        match outcome.Firefly.Explore.verdict with
+        | Firefly.Interleave.Completed when !final = 1 -> Some "lost update"
+        | _ -> None)
+  in
+  Alcotest.(check (option string)) "race found" (Some "lost update") err;
+  Alcotest.(check bool) "explored some runs" true
+    (stats.Firefly.Explore.terminal_runs >= 1)
+
+let test_explore_bounded_finds_race () =
+  let final = ref 0 in
+  let build machine =
+    ignore
+      (M.spawn_root machine (fun () ->
+           let a = Ops.alloc 1 in
+           let incr () =
+             let v = Ops.read a in
+             Ops.write a (v + 1)
+           in
+           let t1 = Ops.spawn incr in
+           let t2 = Ops.spawn incr in
+           Ops.join t1;
+           Ops.join t2;
+           final := Ops.read a))
+  in
+  let err, _ =
+    Firefly.Explore.explore_bounded ~max_preemptions:1 ~max_depth:200 ~build
+      (fun outcome ->
+        match outcome.Firefly.Explore.verdict with
+        | Firefly.Interleave.Completed when !final = 1 -> Some "lost update"
+        | _ -> None)
+  in
+  Alcotest.(check (option string)) "found with 1 preemption"
+    (Some "lost update") err
+
+let test_eventcount_sequencer () =
+  let r =
+    run_rr (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let ec = Firefly.Eventcount.create () in
+               assert (Firefly.Eventcount.read ec = 0);
+               assert (Firefly.Eventcount.advance ec = 1);
+               assert (Firefly.Eventcount.advance ec = 2);
+               assert (Firefly.Eventcount.read ec = 2);
+               let s = Firefly.Sequencer.create () in
+               assert (Firefly.Sequencer.ticket s = 0);
+               assert (Firefly.Sequencer.ticket s = 1);
+               (* await a target already reached returns immediately *)
+               Firefly.Sequencer.await ec 2)))
+  in
+  Alcotest.(check bool) "eventcount/sequencer" true
+    (completed r && no_failures r)
+
+let test_sequencer_fifo () =
+  (* ticket+eventcount build a FIFO lock: tickets are served in order *)
+  let served = ref [] in
+  let r =
+    Firefly.Interleave.run ~seed:17 (fun machine ->
+        ignore
+          (M.spawn_root machine (fun () ->
+               let seq = Firefly.Sequencer.create () in
+               let ec = Firefly.Eventcount.create () in
+               let worker () =
+                 let my = Firefly.Sequencer.ticket seq in
+                 Firefly.Sequencer.await ec my;
+                 served := my :: !served;
+                 ignore (Firefly.Eventcount.advance ec)
+               in
+               let ts = List.init 4 (fun _ -> Ops.spawn worker) in
+               List.iter Ops.join ts)))
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2; 3 ] (List.rev !served)
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "memory ops" `Quick test_memory_ops;
+      Alcotest.test_case "tas semantics" `Quick test_tas_semantics;
+      Alcotest.test_case "spawn/join" `Quick test_spawn_join;
+      Alcotest.test_case "join finished thread" `Quick test_join_finished;
+      Alcotest.test_case "deschedule/ready" `Quick test_deschedule_ready;
+      Alcotest.test_case "wakeup-waiting switch" `Quick test_wakeup_pending;
+      Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+      Alcotest.test_case "interrupt cannot block" `Quick
+        test_interrupt_cannot_block;
+      Alcotest.test_case "counters and accounting" `Quick
+        test_counters_and_instr;
+      Alcotest.test_case "mem_emit atomicity" `Quick test_mem_emit_atomicity;
+      Alcotest.test_case "seeded determinism" `Quick test_determinism;
+      Alcotest.test_case "timed driver" `Quick test_timed_driver;
+      Alcotest.test_case "replay strategy" `Quick test_replay_strategy;
+      Alcotest.test_case "explore finds lost update" `Quick
+        test_explore_finds_race;
+      Alcotest.test_case "bounded explore finds lost update" `Quick
+        test_explore_bounded_finds_race;
+      Alcotest.test_case "eventcount + sequencer" `Quick
+        test_eventcount_sequencer;
+      Alcotest.test_case "sequencer FIFO lock" `Quick test_sequencer_fifo;
+    ] )

@@ -1,0 +1,238 @@
+(* Lexer, parser, printer: unit tests and round-trip properties. *)
+
+open Spec_core
+
+let test_tokenize () =
+  let toks = Lexer.tokenize "WHEN m = NIL -- comment\nENSURES {}" in
+  let kinds = List.map fst toks in
+  Alcotest.(check int) "token count" 8 (List.length kinds);
+  (match kinds with
+  | [ Lexer.KW "WHEN"; Lexer.IDENT "m"; Lexer.EQUALS; Lexer.KW "NIL";
+      Lexer.KW "ENSURES"; Lexer.LBRACE; Lexer.RBRACE; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected token stream");
+  (* line numbers advance past comments *)
+  let lines = List.map snd toks in
+  Alcotest.(check int) "ENSURES on line 2" 2 (List.nth lines 4)
+
+let test_lex_error () =
+  Alcotest.(check bool) "bad char" true
+    (try ignore (Lexer.tokenize "m = @"); false
+     with Lexer.Lex_error (_, 1) -> true)
+
+let test_parse_source_equals_builtin () =
+  let parsed = Parser.interface_of_string Threads_interface.source in
+  Alcotest.(check bool) "parse source = builtin" true
+    (Proc.equal_interface parsed Threads_interface.final)
+
+let test_roundtrip_all_variants () =
+  List.iter
+    (fun (name, iface) ->
+      let printed = Printer.to_string iface in
+      let reparsed = Parser.interface_of_string printed in
+      Alcotest.(check bool) (name ^ " roundtrips") true
+        (Proc.equal_interface reparsed iface))
+    Threads_interface.variants
+
+let test_well_formed_final () =
+  List.iter
+    (fun (name, iface) ->
+      Alcotest.(check (list string)) (name ^ " well-formed") []
+        (Proc.well_formed iface))
+    Threads_interface.variants
+
+let test_well_formed_catches () =
+  (* ENSURES constrains a variable missing from MODIFIES *)
+  let src =
+    {|INTERFACE Bad
+TYPE Mutex = Thread INITIALLY NIL
+ATOMIC PROCEDURE Oops(VAR m : Mutex)
+  ENSURES m_post = SELF
+|}
+  in
+  let iface = Parser.interface_of_string src in
+  (match Proc.well_formed iface with
+  | [] -> Alcotest.fail "expected a violation"
+  | errs ->
+    Alcotest.(check bool) "mentions MODIFIES" true
+      (List.exists
+         (fun e ->
+           String.length e > 0
+           && String.split_on_char ' ' e |> List.mem "MODIFIES")
+         errs));
+  (* undeclared exception *)
+  let src2 =
+    {|INTERFACE Bad2
+TYPE Semaphore = (available, unavailable) INITIALLY available
+ATOMIC PROCEDURE Q(VAR s : Semaphore) RAISES Nope
+  MODIFIES AT MOST [s]
+  RAISES Nope WHEN s = available
+    ENSURES s_post = unavailable
+|}
+  in
+  let iface2 = Parser.interface_of_string src2 in
+  Alcotest.(check bool) "undeclared exception flagged" true
+    (Proc.well_formed iface2 <> [])
+
+let test_parse_errors () =
+  let bad src =
+    try
+      ignore (Parser.interface_of_string src);
+      false
+    with Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing INTERFACE" true (bad "TYPE Mutex = Thread");
+  Alcotest.(check bool) "non-atomic without composition" true
+    (bad
+       {|INTERFACE X
+TYPE Mutex = Thread INITIALLY NIL
+PROCEDURE F(VAR m : Mutex)
+  ENSURES m_post = NIL
+|});
+  Alcotest.(check bool) "composition name mismatch" true
+    (bad
+       {|INTERFACE X
+TYPE Mutex = Thread INITIALLY NIL
+PROCEDURE F(VAR m : Mutex) = COMPOSITION OF A; B END
+  MODIFIES AT MOST [m]
+  ATOMIC ACTION A
+    ENSURES m_post = NIL
+  ATOMIC ACTION Wrong
+    ENSURES m_post = NIL
+|})
+
+let test_formula_precedence () =
+  let f = Parser.formula_of_string in
+  (* & binds tighter than | *)
+  Alcotest.(check bool) "a | b & c" true
+    (Formula.equal
+       (f "TRUE | TRUE & FALSE")
+       (Formula.Or (Formula.True, Formula.And (Formula.True, Formula.False))));
+  (* => is right-associative and loosest *)
+  Alcotest.(check bool) "impl assoc" true
+    (Formula.equal
+       (f "FALSE => FALSE => TRUE")
+       (Formula.Implies
+          (Formula.False, Formula.Implies (Formula.False, Formula.True))));
+  (* left associativity of & *)
+  Alcotest.(check bool) "& left assoc" true
+    (Formula.equal
+       (f "TRUE & TRUE & FALSE")
+       (Formula.And (Formula.And (Formula.True, Formula.True), Formula.False)))
+
+let test_term_parsing () =
+  let t = Parser.term_of_string in
+  Alcotest.(check bool) "insert" true
+    (Term.equal
+       (t "insert(c, SELF)")
+       (Term.Insert (Term.Ref ("c", Term.Pre), Term.Self)));
+  Alcotest.(check bool) "post suffix" true
+    (Term.equal (t "alerts_post") (Term.Ref ("alerts", Term.Post)));
+  Alcotest.(check bool) "RESULT" true (Term.equal (t "RESULT") Term.Result);
+  Alcotest.(check bool) "enum literal" true
+    (Term.equal (t "available") (Term.Lit (Value.Sem Value.Available)))
+
+(* Random-formula round-trip: generate ASTs from the grammar the printer
+   can emit, print, reparse, compare. *)
+let gen_term : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        return Term.Self;
+        return Term.Nil_const;
+        return Term.Empty_set;
+        map (fun n -> Term.Ref ("v" ^ string_of_int n, Term.Pre)) (int_range 0 3);
+        map (fun n -> Term.Ref ("v" ^ string_of_int n, Term.Post)) (int_range 0 3);
+        return (Term.Lit (Value.Sem Value.Available));
+        return (Term.Lit (Value.Sem Value.Unavailable));
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          (1, map2 (fun a b -> Term.Insert (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Term.Delete (a, b)) (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  go 2
+
+let gen_formula : Formula.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        return Formula.True;
+        return Formula.False;
+        map2 (fun a b -> Formula.Eq (a, b)) gen_term gen_term;
+        map2 (fun a b -> Formula.Member (a, b)) gen_term gen_term;
+        map2 (fun a b -> Formula.Subset (a, b)) gen_term gen_term;
+        map (fun n -> Formula.Unchanged [ "v" ^ string_of_int n ]) (int_range 0 3);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map (fun f -> Formula.Not f) (go (depth - 1)));
+          (1, map2 (fun a b -> Formula.And (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Formula.Or (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Formula.Implies (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Formula.Iff (a, b)) (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let prop_formula_roundtrip =
+  QCheck.Test.make ~name:"print/parse formula roundtrip" ~count:500
+    (QCheck.make gen_formula ~print:Formula.to_string)
+    (fun f ->
+      let printed = Formula.to_string f in
+      let reparsed = Parser.formula_of_string printed in
+      Formula.equal reparsed f)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "parser",
+    [
+      Alcotest.test_case "tokenize" `Quick test_tokenize;
+      Alcotest.test_case "lex error" `Quick test_lex_error;
+      Alcotest.test_case "source = builtin" `Quick
+        test_parse_source_equals_builtin;
+      Alcotest.test_case "all variants roundtrip" `Quick
+        test_roundtrip_all_variants;
+      Alcotest.test_case "variants well-formed" `Quick test_well_formed_final;
+      Alcotest.test_case "well-formedness violations" `Quick
+        test_well_formed_catches;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "precedence" `Quick test_formula_precedence;
+      Alcotest.test_case "terms" `Quick test_term_parsing;
+      q prop_formula_roundtrip;
+    ] )
+
+(* The spec file shipped in specs/ must match the embedded source (the
+   file is what a user edits; the embedded copy is what the library
+   defaults to). *)
+let test_spec_file_in_sync () =
+  let path = "../specs/threads.lspec" in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    let parsed = Parser.interface_of_string contents in
+    Alcotest.(check bool) "file parses to the final interface" true
+      (Proc.equal_interface parsed Threads_interface.final)
+  end
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [ Alcotest.test_case "specs/threads.lspec in sync" `Quick
+          test_spec_file_in_sync ] )

@@ -1,0 +1,201 @@
+(* Swarm testing: randomly generated client programs run on the simulator
+   under random schedules; every run must terminate cleanly and its trace
+   must conform to the formal specification.
+
+   Generated programs are deadlock-free by construction: nested locks are
+   always taken in global object order, semaphore P/V pairs are properly
+   bracketed, alerts are fire-and-forget.  Condition variables are
+   exercised by the second property with balanced producer/consumer
+   counts. *)
+
+module Tid = Threads_util.Tid
+
+type op =
+  | Lock_region of int list * int  (* sorted mutex indices, work ticks *)
+  | Sem_region of int * int
+  | Alert_peer of int  (* worker index *)
+  | Poll_alert
+  | Yield
+  | Work of int
+
+let gen_op nworkers =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 4,
+        map2
+          (fun subset ticks ->
+            Lock_region (List.sort_uniq compare subset, 1 + ticks))
+          (list_size (int_range 1 2) (int_range 0 2))
+          (int_range 0 5) );
+      (2, map2 (fun s t -> Sem_region (s, 1 + t)) (int_range 0 1) (int_range 0 4));
+      (1, map (fun w -> Alert_peer w) (int_range 0 (nworkers - 1)));
+      (1, return Poll_alert);
+      (1, return Yield);
+      (2, map (fun t -> Work (1 + t)) (int_range 0 4));
+    ]
+
+let gen_workload =
+  let open QCheck.Gen in
+  int_range 2 4 >>= fun nworkers ->
+  list_size (int_range 1 6) (gen_op nworkers) |> list_repeat nworkers
+  >>= fun progs ->
+  int_range 0 999 >>= fun seed -> return (nworkers, progs, seed)
+
+let print_workload (nworkers, progs, seed) =
+  let op_str = function
+    | Lock_region (ms, t) ->
+      Printf.sprintf "lock%s/%d"
+        (String.concat "" (List.map string_of_int ms))
+        t
+    | Sem_region (s, t) -> Printf.sprintf "sem%d/%d" s t
+    | Alert_peer w -> Printf.sprintf "alert%d" w
+    | Poll_alert -> "poll"
+    | Yield -> "yield"
+    | Work t -> Printf.sprintf "work%d" t
+  in
+  Printf.sprintf "workers=%d seed=%d [%s]" nworkers seed
+    (String.concat " | "
+       (List.map (fun p -> String.concat ";" (List.map op_str p)) progs))
+
+let run_workload runner (nworkers, progs, seed) =
+  let report =
+    runner ~seed (fun sync ->
+        let module S =
+          (val sync : Taos_threads.Sync_intf.SYNC with type thread = Tid.t)
+        in
+        let mutexes = Array.init 3 (fun _ -> S.mutex ()) in
+        let sems = Array.init 2 (fun _ -> S.semaphore ()) in
+        let workers = Array.make nworkers None in
+        let interp prog () =
+          List.iter
+            (fun op ->
+              match op with
+              | Lock_region (ms, ticks) ->
+                let rec nest = function
+                  | [] -> Firefly.Machine.Ops.tick ticks
+                  | i :: rest -> S.with_lock mutexes.(i) (fun () -> nest rest)
+                in
+                nest ms
+              | Sem_region (s, ticks) ->
+                S.p sems.(s);
+                Firefly.Machine.Ops.tick ticks;
+                S.v sems.(s)
+              | Alert_peer w -> (
+                match workers.(w) with
+                | Some t -> S.alert t
+                | None -> ())
+              | Poll_alert -> ignore (S.test_alert ())
+              | Yield -> S.yield ()
+              | Work t -> Firefly.Machine.Ops.tick t)
+            prog
+        in
+        List.iteri
+          (fun i prog -> workers.(i) <- Some (S.fork (interp prog)))
+          progs;
+        Array.iter (function Some t -> S.join t | None -> ()) workers;
+        (* drain any alert aimed at the main thread's id by accident *)
+        ignore (S.test_alert ()))
+  in
+  (match report.Firefly.Interleave.verdict with
+  | Firefly.Interleave.Completed -> ()
+  | Firefly.Interleave.Deadlock _ -> failwith "deadlock"
+  | Firefly.Interleave.Step_limit -> failwith "step limit");
+  (match Firefly.Machine.failures report.Firefly.Interleave.machine with
+  | [] -> ()
+  | (tid, e) :: _ ->
+    failwith (Printf.sprintf "t%d: %s" tid (Printexc.to_string e)));
+  let rep =
+    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
+      report.Firefly.Interleave.machine
+  in
+  if not (Threads_model.Conformance.ok rep) then
+    failwith
+      (Format.asprintf "%a" Threads_model.Conformance.pp_report rep);
+  true
+
+let prop_swarm_sim =
+  QCheck.Test.make ~name:"random programs conform (firefly)" ~count:120
+    (QCheck.make gen_workload ~print:print_workload)
+    (run_workload (fun ~seed body -> Taos_threads.Api.run ~seed body))
+
+let prop_swarm_uniproc =
+  QCheck.Test.make ~name:"random programs conform (uniproc)" ~count:120
+    (QCheck.make gen_workload ~print:print_workload)
+    (run_workload (fun ~seed body ->
+         Taos_threads.Uniproc.run ~seed ~strategy:(Firefly.Sched.random seed)
+           body))
+
+(* Balanced producer/consumer with random parameters: conformance plus
+   item accounting. *)
+let gen_pc =
+  let open QCheck.Gen in
+  QCheck.make
+    ~print:(fun (p, c, ipc, cap, seed) ->
+      Printf.sprintf "producers=%d consumers=%d items/c=%d cap=%d seed=%d" p c
+        ipc cap seed)
+    (int_range 1 3 >>= fun producers ->
+     int_range 1 3 >>= fun consumers ->
+     int_range 1 5 >>= fun items_per_consumer ->
+     int_range 1 3 >>= fun cap ->
+     int_range 0 999 >>= fun seed ->
+     return (producers, consumers, items_per_consumer, cap, seed))
+
+let prop_pc_sim =
+  QCheck.Test.make ~name:"random producer/consumer conforms" ~count:120 gen_pc
+    (fun (producers, consumers, items_per_consumer, cap, seed) ->
+      (* keep totals divisible: each producer makes consumers*ipc /
+         producers... instead: total = lcm-free, producers produce
+         total/producers with remainder to the first producer *)
+      let total = consumers * items_per_consumer in
+      let report =
+        Taos_threads.Api.run ~seed (fun sync ->
+            let module S =
+              (val sync : Taos_threads.Sync_intf.SYNC with type thread = Tid.t)
+            in
+            let m = S.mutex () in
+            let nonempty = S.condition () in
+            let nonfull = S.condition () in
+            let buf = ref 0 in
+            let eaten = ref 0 in
+            let producer n () =
+              for _ = 1 to n do
+                S.with_lock m (fun () ->
+                    while !buf >= cap do
+                      S.wait m nonfull
+                    done;
+                    incr buf;
+                    S.signal nonempty)
+              done
+            in
+            let consumer () =
+              for _ = 1 to items_per_consumer do
+                S.with_lock m (fun () ->
+                    while !buf = 0 do
+                      S.wait m nonempty
+                    done;
+                    decr buf;
+                    incr eaten;
+                    S.signal nonfull)
+              done
+            in
+            let base = total / producers in
+            let extra = total - (base * producers) in
+            let ps =
+              List.init producers (fun i ->
+                  S.fork (producer (base + if i = 0 then extra else 0)))
+            in
+            let cs = List.init consumers (fun _ -> S.fork consumer) in
+            List.iter S.join (ps @ cs);
+            if !eaten <> total then failwith "accounting")
+      in
+      (match report.Firefly.Interleave.verdict with
+      | Firefly.Interleave.Completed -> ()
+      | _ -> failwith "did not complete");
+      Threads_model.Conformance.ok
+        (Threads_model.Conformance.check_machine
+           Spec_core.Threads_interface.final report.Firefly.Interleave.machine))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ("swarm", [ q prop_swarm_sim; q prop_swarm_uniproc; q prop_pc_sim ])

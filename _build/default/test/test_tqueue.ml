@@ -1,0 +1,62 @@
+(* Model-based tests of the Nub's thread queues. *)
+
+let test_fifo () =
+  let q = Taos_threads.Tqueue.create () in
+  Alcotest.(check bool) "empty" true (Taos_threads.Tqueue.is_empty q);
+  Taos_threads.Tqueue.push q 1;
+  Taos_threads.Tqueue.push q 2;
+  Taos_threads.Tqueue.push q 3;
+  Alcotest.(check int) "length" 3 (Taos_threads.Tqueue.length q);
+  Alcotest.(check (option int)) "pop head" (Some 1) (Taos_threads.Tqueue.pop q);
+  Alcotest.(check (option int)) "pop next" (Some 2) (Taos_threads.Tqueue.pop q);
+  Taos_threads.Tqueue.push q 4;
+  Alcotest.(check (list int)) "pop_all" [ 3; 4 ] (Taos_threads.Tqueue.pop_all q);
+  Alcotest.(check (option int)) "empty pop" None (Taos_threads.Tqueue.pop q)
+
+let test_remove () =
+  let q = Taos_threads.Tqueue.create () in
+  List.iter (Taos_threads.Tqueue.push q) [ 1; 2; 3 ];
+  Alcotest.(check bool) "remove mid" true (Taos_threads.Tqueue.remove q 2);
+  Alcotest.(check bool) "remove absent" false (Taos_threads.Tqueue.remove q 9);
+  Alcotest.(check (list int)) "order kept" [ 1; 3 ]
+    (Taos_threads.Tqueue.elements q);
+  Alcotest.(check bool) "mem" true (Taos_threads.Tqueue.mem q 3);
+  Alcotest.(check bool) "not mem" false (Taos_threads.Tqueue.mem q 2)
+
+(* model-based: a Tqueue behaves like a list under a random op sequence *)
+let prop_model =
+  let open QCheck in
+  Test.make ~name:"tqueue vs list model" ~count:300
+    (list (pair (int_range 0 2) (int_range 0 5)))
+    (fun ops ->
+      let q = Taos_threads.Tqueue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            Taos_threads.Tqueue.push q x;
+            model := !model @ [ x ];
+            true
+          | 1 -> (
+            let got = Taos_threads.Tqueue.pop q in
+            match !model with
+            | [] -> got = None
+            | h :: t ->
+              model := t;
+              got = Some h)
+          | _ ->
+            let was = List.mem x !model in
+            model := List.filter (fun y -> y <> x) !model;
+            Taos_threads.Tqueue.remove q x = was
+            && Taos_threads.Tqueue.elements q = !model)
+        ops
+      && Taos_threads.Tqueue.elements q = !model)
+
+let suite =
+  ( "tqueue",
+    [
+      Alcotest.test_case "fifo" `Quick test_fifo;
+      Alcotest.test_case "remove" `Quick test_remove;
+      QCheck_alcotest.to_alcotest prop_model;
+    ] )
