@@ -67,11 +67,16 @@ let wake_run ~broadcast =
          let ws = List.init 8 (fun _ -> Sy.fork waiter) in
          Sy.with_lock m (fun () -> flag := true);
          if broadcast then Sy.broadcast c
-         else
+         else begin
            for _ = 1 to 8 do
              Sy.signal c
            done;
-         Sy.broadcast c;
+           (* A Signal may find its target already between tests (awake
+              but not yet re-checking the flag), so 8 signals need not
+              wake all 8 waiters; sweep up any stragglers.  The broadcast
+              arm wakes everyone in one call and needs no sweep. *)
+           Sy.broadcast c
+         end;
          List.iter Sy.join ws))
 
 let e3_signal =

@@ -3,11 +3,115 @@
    repro list            enumerate experiments
    repro run E1 E7       run specific experiments
    repro all             run everything
-   repro spec [--variant v]   print a spec variant (concrete syntax) *)
+   repro spec [--variant v]   print a spec variant (concrete syntax)
+   repro trace [--seed n] [--format=text|chrome] [--out=FILE]
+                         linearized trace + conformance check, or
+                         Chrome trace-event JSON of the demo workload
+   repro metrics [--seed n]   per-object observability report *)
 
 open Cmdliner
 
 let setup () = Threads_harness.Registry.init ()
+
+(* Shared deterministic demo workload for [metrics] and the Chrome-trace
+   export: a producer feeding three consumers through a mutex+condition
+   (fast path, Nub slow path, wakeup-waiting window), a single-token
+   semaphore ping-pong pair, and two alert victims (one in Alert Wait, one
+   in Alert P).  Everything is driven by the seeded simulator scheduler,
+   so the same seed gives byte-identical metrics. *)
+let demo_workload sync =
+  let module S =
+    (val sync : Taos_threads.Sync_intf.SYNC with type thread = Threads_util.Tid.t)
+  in
+  let module Ops = Firefly.Machine.Ops in
+  let m = S.mutex () in
+  let c = S.condition () in
+  let queue = ref 0 in
+  let produced = ref 0 in
+  let items = 40 in
+  let consumer () =
+    let continue = ref true in
+    while !continue do
+      S.with_lock m (fun () ->
+          while !queue = 0 && !produced < items do
+            S.wait m c
+          done;
+          if !queue > 0 then begin
+            decr queue;
+            Ops.tick 3
+          end
+          else continue := false)
+    done
+  in
+  let producer () =
+    for _ = 1 to items do
+      Ops.tick 5;
+      S.with_lock m (fun () ->
+          incr queue;
+          incr produced);
+      S.signal c
+    done;
+    (* Final state is published; wake anyone still parked so they exit. *)
+    S.broadcast c
+  in
+  (* Single-token ping-pong: drain [b]'s initial token so exactly one
+     token circulates a -> b -> a and the V's never collapse. *)
+  let a = S.semaphore () in
+  let b = S.semaphore () in
+  S.p b;
+  let rounds = 12 in
+  let pinger =
+    S.fork (fun () ->
+        for _ = 1 to rounds do
+          S.p a;
+          Ops.tick 2;
+          S.v b
+        done)
+  in
+  let ponger =
+    S.fork (fun () ->
+        for _ = 1 to rounds do
+          S.p b;
+          Ops.tick 2;
+          S.v a
+        done)
+  in
+  (* Alert victims: one parked in Alert Wait on its own condition, one in
+     Alert P on a drained semaphore; both exit via the Alerted exception. *)
+  let ac = S.condition () in
+  let am = S.mutex () in
+  let wait_victim =
+    S.fork (fun () ->
+        try S.with_lock am (fun () -> S.alert_wait am ac)
+        with Taos_threads.Sync_intf.Alerted -> ())
+  in
+  let dead = S.semaphore () in
+  S.p dead;
+  let p_victim =
+    S.fork (fun () ->
+        try S.alert_p dead with Taos_threads.Sync_intf.Alerted -> ())
+  in
+  let consumers = List.init 3 (fun _ -> S.fork consumer) in
+  let pr = S.fork producer in
+  S.alert wait_victim;
+  S.alert p_victim;
+  ignore (S.test_alert ());
+  S.join pr;
+  List.iter S.join consumers;
+  S.join wait_victim;
+  S.join p_victim;
+  S.join pinger;
+  S.join ponger
+
+let demo_snapshot ~seed =
+  let report = Taos_threads.Api.run ~seed demo_workload in
+  Obs.Instrument.snapshot
+    (Firefly.Machine.obs report.Firefly.Interleave.machine)
+
+let thread_names (snap : Obs.Instrument.snapshot) =
+  List.sort_uniq compare
+    (List.map (fun (s : Obs.Instrument.span) -> s.track) snap.spans)
+  |> List.map (fun track -> (track, Printf.sprintf "t%d" track))
 
 let list_cmd =
   let run () =
@@ -62,6 +166,17 @@ let spec_cmd =
           must-raise, nelson-bug) in the concrete syntax")
     Term.(const run $ variant)
 
+let metrics_cmd =
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let run seed = Obs.Report.print (demo_snapshot ~seed) in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the deterministic demo workload and print the per-object \
+          observability report (fast-path rates, counters, high-water \
+          gauges, cycle histograms, span aggregates)")
+    Term.(const run $ seed)
+
 let trace_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
@@ -69,7 +184,49 @@ let trace_cmd =
   let variant =
     Arg.(value & opt string "final" & info [ "variant" ] ~docv:"VARIANT")
   in
-  let run seed variant =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("chrome", `Chrome) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "$(docv) is $(b,text) (linearized event trace + conformance \
+             check) or $(b,chrome) (trace-event JSON for Perfetto / \
+             chrome://tracing, from the demo workload's spans)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace to $(docv) instead of stdout")
+  in
+  let chrome seed out =
+    let snap = demo_snapshot ~seed in
+    let s =
+      Obs.Chrome_trace.to_string ~cycle_us:Firefly.Cost.us_per_cycle
+        ~process_name:"firefly-sim" ~thread_names:(thread_names snap) snap
+    in
+    if out = "-" then print_string s
+    else begin
+      let oc =
+        try open_out out
+        with Sys_error e ->
+          Printf.eprintf "cannot write trace: %s\n" e;
+          exit 1
+      in
+      output_string oc s;
+      close_out oc;
+      Printf.printf "wrote %d trace events to %s\n"
+        (List.length
+           (Obs.Chrome_trace.events ~thread_names:(thread_names snap) snap))
+        out
+    end
+  in
+  let run seed variant format out =
+    match format with
+    | `Chrome -> chrome seed out
+    | `Text ->
     let iface =
       match List.assoc_opt variant Spec_core.Threads_interface.variants with
       | Some i -> i
@@ -121,9 +278,11 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Run a demo workload on the simulator, print its linearized trace \
-          and conformance-check it against a spec variant")
-    Term.(const run $ seed $ variant)
+         "Run a demo workload on the simulator and print its linearized \
+          trace with a conformance check (--format=text), or export the \
+          instrumentation spans as Chrome trace-event JSON \
+          (--format=chrome --out=FILE)")
+    Term.(const run $ seed $ variant $ format $ out)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -136,4 +295,4 @@ let () =
          Primitives for a Multiprocessor: A Formal Specification (SRC-20, \
          1987)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd ]))

@@ -81,9 +81,18 @@ type t = {
   mutable nthreads : int;
   mutable trace_rev : Trace.event list;
   counters : (string, int) Hashtbl.t;
+  obs : Obs.Instrument.t;
   mutable total_instr : int;
   mutable total_cycles : int;
 }
+
+(* The machine whose thread is currently inside [step], with that thread's
+   id.  Lets package code (and thunks running inside [mem_emit]) record
+   observations as plain function calls — no effect performed, no
+   scheduling point added, no cycle charged — which is what keeps an
+   instrumented run cycle-identical to an uninstrumented one.  The
+   simulator is single-threaded OCaml, so one ambient slot suffices. *)
+let current : (t * Tid.t) option ref = ref None
 
 let dummy_thread =
   {
@@ -108,6 +117,7 @@ let create ?(seed = 0) ?(cost = Cost.default) () =
     nthreads = 0;
     trace_rev = [];
     counters = Hashtbl.create 16;
+    obs = Obs.Instrument.create ();
     total_instr = 0;
     total_cycles = 0;
   }
@@ -180,14 +190,19 @@ let alloc m n =
 let wake m tid =
   let t = thread m tid in
   match t.status with
-  | Blocked -> t.status <- Runnable
+  | Blocked ->
+    t.status <- Runnable;
+    Obs.Instrument.incr m.obs "machine.wakes" 1;
+    ignore
+      (Obs.Instrument.span_end m.obs ~track:tid "blocked" ~now:m.total_cycles)
   | Runnable ->
     (* The target has decided to block but its deschedule instruction has
        not executed yet; record the wakeup so the deschedule becomes a
        no-op (Saltzer's wakeup-waiting switch).  The Taos package never
        hits this path (it only readies threads found descheduled under the
        spin-lock); the cooperative backend relies on it. *)
-    t.wakeup_pending <- true
+    t.wakeup_pending <- true;
+    Obs.Instrument.incr m.obs "machine.wakeup_waiting_arms" 1
   | Finished | Failed _ ->
     failwith (Printf.sprintf "Machine.ready: t%d already finished" tid)
 
@@ -292,6 +307,9 @@ let execute_effect (type a) m t (eff : a Effect.t)
     | Runnable | Blocked ->
       tgt.joiners <- t.tid :: tgt.joiners;
       t.status <- Blocked;
+      Obs.Instrument.incr m.obs "machine.blocks" 1;
+      Obs.Instrument.span_begin m.obs ~track:t.tid ~cat:"sched" "blocked"
+        ~now:m.total_cycles;
       (* E_join has result type unit, so the continuation is reusable as a
          unit resume. *)
       t.paused <- Resume_unit k;
@@ -307,13 +325,19 @@ let execute_effect (type a) m t (eff : a Effect.t)
       t.wakeup_pending <- false;
       m.mem.(a) <- 0;
       t.paused <- Resume_unit k;
-      charge ~instr:true c.write
+      let cost = charge ~instr:true c.write in
+      Obs.Instrument.incr m.obs "machine.wakeup_waiting_saves" 1;
+      cost
     end
     else begin
       m.mem.(a) <- 0;
       t.status <- Blocked;
       t.paused <- Resume_unit k;
-      charge ~instr:true c.write
+      let cost = charge ~instr:true c.write in
+      Obs.Instrument.incr m.obs "machine.blocks" 1;
+      Obs.Instrument.span_begin m.obs ~track:t.tid ~cat:"sched" "blocked"
+        ~now:m.total_cycles;
+      cost
     end
   | E_ready target ->
     wake m target;
@@ -373,19 +397,25 @@ let step m tid =
   let t = thread m tid in
   if t.status <> Runnable then
     failwith (Printf.sprintf "Machine.step: t%d is not runnable" tid);
-  match t.paused with
-  | Fresh f ->
-    t.paused <- Gone;
-    start m t f;
-    0
-  | Resume_unit k ->
-    t.paused <- Gone;
-    resume m t k ();
-    0
-  | At_effect (eff, k) ->
-    t.paused <- Gone;
-    execute_effect m t eff k
-  | Gone -> failwith (Printf.sprintf "Machine.step: t%d has no continuation" tid)
+  let saved = !current in
+  current := Some (m, tid);
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      match t.paused with
+      | Fresh f ->
+        t.paused <- Gone;
+        start m t f;
+        0
+      | Resume_unit k ->
+        t.paused <- Gone;
+        resume m t k ();
+        0
+      | At_effect (eff, k) ->
+        t.paused <- Gone;
+        execute_effect m t eff k
+      | Gone ->
+        failwith (Printf.sprintf "Machine.step: t%d has no continuation" tid))
 
 let trace m = List.rev m.trace_rev
 
@@ -413,3 +443,46 @@ let failures m =
 
 let all_tids m = List.init m.nthreads (fun i -> i)
 let cost_model m = m.cost
+let obs m = m.obs
+
+(* Zero-sim-cost observation points for package code (see [current]).
+   Every entry point is a no-op outside a simulated thread, so the Threads
+   package stays loadable from code not running under a machine. *)
+module Probe = struct
+  let now () =
+    match !current with Some (m, _) -> m.total_cycles | None -> 0
+
+  let counter name n =
+    match !current with
+    | Some (m, _) -> Obs.Instrument.incr m.obs name n
+    | None -> ()
+
+  let sample name v =
+    match !current with
+    | Some (m, _) -> Obs.Instrument.sample m.obs name v
+    | None -> ()
+
+  let gauge_max name v =
+    match !current with
+    | Some (m, _) -> Obs.Instrument.gauge_max m.obs name v
+    | None -> ()
+
+  let span_begin ?cat name =
+    match !current with
+    | Some (m, tid) ->
+      Obs.Instrument.span_begin m.obs ~track:tid ?cat name
+        ~now:m.total_cycles
+    | None -> ()
+
+  let span_end name =
+    match !current with
+    | Some (m, tid) ->
+      Obs.Instrument.span_end m.obs ~track:tid name ~now:m.total_cycles
+    | None -> None
+
+  let span_add ?cat name ~t0 ~t1 =
+    match !current with
+    | Some (m, tid) ->
+      Obs.Instrument.span_add m.obs ~track:tid ?cat name ~t0 ~t1
+    | None -> ()
+end

@@ -98,6 +98,42 @@ module Ops : sig
   val mem_emit : mem_op -> (int -> Trace.event option) -> int
 end
 
+(** {1 Observation probes (thread code, zero simulated cost)}
+
+    Unlike {!Ops}, nothing here performs an effect: a probe call is not a
+    scheduling point, charges no cycles, consumes no randomness, and is
+    therefore invisible to the simulation — an instrumented run is
+    cycle-identical to an uninstrumented one.  Probes record into the
+    stepping machine's {!obs} registry and may be called from anywhere in
+    thread code, including inside {!Ops.mem_emit} thunks (where [now]
+    already includes the charged cost of the enclosing instruction).
+    Outside a simulated thread every probe is a no-op. *)
+
+module Probe : sig
+  (** Current simulated time: the machine's running total-cycle clock. *)
+  val now : unit -> int
+
+  (** [counter name n] adds [n]; [counter name 0] materializes the counter
+      at 0 so it shows in reports. *)
+  val counter : string -> int -> unit
+
+  (** [sample name v] records a histogram sample (a cycle count). *)
+  val sample : string -> int -> unit
+
+  (** [gauge_max name v] raises a high-water gauge. *)
+  val gauge_max : string -> int -> unit
+
+  (** Spans are keyed by (current thread, name); see
+      {!Obs.Instrument.span_begin}. *)
+  val span_begin : ?cat:string -> string -> unit
+
+  (** Returns the span duration in cycles, [None] without matching begin. *)
+  val span_end : string -> int option
+
+  (** Record an already-delimited span on the current thread's track. *)
+  val span_add : ?cat:string -> string -> t0:int -> t1:int -> unit
+end
+
 (** {1 Construction and stepping (driver side)} *)
 
 (** [create ?seed ?cost ()] — [seed] feeds {!Ops.rand}. *)
@@ -150,3 +186,11 @@ val failures : t -> (Threads_util.Tid.t * exn) list
 
 val all_tids : t -> Threads_util.Tid.t list
 val cost_model : t -> Cost.t
+
+(** The machine's instrument registry (counters / histograms / gauges /
+    spans recorded by {!Probe} calls and by the machine itself:
+    ["machine.blocks"], ["machine.wakes"],
+    ["machine.wakeup_waiting_arms"/"_saves"], and per-thread ["blocked"]
+    spans).  Snapshot it after a run for {!Obs.Report} or
+    {!Obs.Chrome_trace}. *)
+val obs : t -> Obs.Instrument.t

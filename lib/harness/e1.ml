@@ -41,7 +41,7 @@ let sim_numbers ~fast_path =
     Firefly.Machine.counter machine "nub.acquire"
     + Firefly.Machine.counter machine "nub.release"
   in
-  (instr, cycles, Firefly.Cost.us_per_cycle *. cycles, nub)
+  (instr, cycles, Firefly.Cost.us_per_cycle *. cycles, nub, machine)
 
 let multicore_ns () =
   let module S = Threads_multicore.Multicore.Sync in
@@ -68,7 +68,7 @@ let multicore_ns () =
   (dt /. float_of_int n *. 1e9, dt_std /. float_of_int n *. 1e9)
 
 let run () =
-  let instr, cycles, us, nub = sim_numbers ~fast_path:true in
+  let instr, cycles, us, nub, machine = sim_numbers ~fast_path:true in
   let t =
     Table.create ~title:"E1a: uncontended Acquire/Release pair (simulator)"
       ~aligns:[ Table.Left; Table.Right; Table.Right ]
@@ -92,7 +92,9 @@ let run () =
   Table.print t2;
   print_endline
     "Shape check: in-line fast path, zero Nub entries; simulated pair cost\n\
-     within 2x of the paper's 5 instructions / 10 us."
+     within 2x of the paper's 5 instructions / 10 us.";
+  Exp.print_metrics
+    ~header:"--- observability (uncontended fast-path run) ---" machine
 
 let experiment =
   {

@@ -58,11 +58,13 @@ let run () =
       [ "threads"; "ops/ms (sim)"; "nub entries/op"; "spin iters/op";
         "ctx switches"; "utilization" ]
   in
+  let contended = ref None in
   List.iter
     (fun threads ->
       let report, throughput, nub, spin =
         run_config ~threads ~cs_len:20 ~think_len:80
       in
+      if threads = 8 then contended := Some report.Firefly.Timed.machine;
       Table.add_row t
         [
           Table.cell_int threads;
@@ -98,7 +100,11 @@ let run () =
     "Shape check: 1 thread -> ~0 nub entries/op (pure fast path); nub\n\
      entries and spinning grow with contention; longer critical sections\n\
      lower throughput but amortize the synchronization cost (fewer nub\n\
-     entries per op matter less)."
+     entries per op matter less).";
+  Option.iter
+    (Exp.print_metrics
+       ~header:"--- observability (8 threads, cs=20, think=80) ---")
+    !contended
 
 let experiment =
   {

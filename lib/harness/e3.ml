@@ -69,10 +69,12 @@ let run () =
     Table.create ~title:"E3: draining M parked waiters"
       [ "waiters"; "signal calls needed"; "broadcast calls"; "signal wakeups/call"; "broadcast wakeups/call" ]
   in
+  let representative = ref None in
   List.iter
     (fun m ->
       let sig_calls, sig_machine = signaller_cost m ~broadcast:false in
       let bc_calls, bc_machine = signaller_cost m ~broadcast:true in
+      if m = 8 then representative := Some sig_machine;
       (* wakeups = removals recorded in Signal/Broadcast trace events *)
       let wakeups machine proc =
         let evs =
@@ -102,7 +104,11 @@ let run () =
   print_endline
     "Shape check: Signal wakes ~1/call so draining M waiters takes ~M\n\
      calls; one Broadcast wakes all M (necessary when several should\n\
-     resume, e.g. releasing a writer lock to all readers)."
+     resume, e.g. releasing a writer lock to all readers).";
+  Option.iter
+    (Exp.print_metrics
+       ~header:"--- observability (8 waiters drained by signals) ---")
+    !representative
 
 let experiment =
   {

@@ -23,3 +23,9 @@ val find : string -> t option
 val run_ids : string list -> string list
 
 val run_all : unit -> unit
+
+(** [print_metrics ?header machine] appends the machine's instrument
+    registry ({!Firefly.Machine.obs}) as an observability section —
+    fast-path rates, counters, gauges, cycle histograms, span
+    aggregates — to the experiment's output. *)
+val print_metrics : ?header:string -> Firefly.Machine.t -> unit

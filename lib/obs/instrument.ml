@@ -1,0 +1,92 @@
+module Stats = Threads_util.Stats
+
+type span = {
+  track : int;  (* simulated thread id *)
+  name : string;  (* e.g. "held mutex#2" *)
+  cat : string;  (* "mutex" | "cond" | "sem" | "spin" | "sched" | ... *)
+  t0 : int;  (* begin, in simulated cycles *)
+  t1 : int;  (* end, in simulated cycles *)
+}
+
+type t = {
+  counters : (string, int) Hashtbl.t;
+  hists : (string, int list ref) Hashtbl.t;  (* samples, reversed *)
+  gauges : (string, int) Hashtbl.t;  (* high-water marks *)
+  open_spans : (int * string, int * string) Hashtbl.t;
+      (* (track, name) -> (t0, cat) *)
+  mutable spans_rev : span list;
+  mutable nspans : int;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    hists = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    open_spans = Hashtbl.create 16;
+    spans_rev = [];
+    nspans = 0;
+  }
+
+let incr t name n =
+  let cur = Option.value (Hashtbl.find_opt t.counters name) ~default:0 in
+  Hashtbl.replace t.counters name (cur + n)
+
+let counter t name =
+  Option.value (Hashtbl.find_opt t.counters name) ~default:0
+
+let sample t name v =
+  match Hashtbl.find_opt t.hists name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.replace t.hists name (ref [ v ])
+
+let gauge_max t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some cur -> if v > cur then Hashtbl.replace t.gauges name v
+  | None -> Hashtbl.replace t.gauges name v
+
+let add_span t span =
+  t.spans_rev <- span :: t.spans_rev;
+  t.nspans <- t.nspans + 1
+
+let span_begin t ~track ?(cat = "span") name ~now =
+  Hashtbl.replace t.open_spans (track, name) (now, cat)
+
+let span_end t ~track name ~now =
+  match Hashtbl.find_opt t.open_spans (track, name) with
+  | None -> None
+  | Some (t0, cat) ->
+    Hashtbl.remove t.open_spans (track, name);
+    add_span t { track; name; cat; t0; t1 = now };
+    Some (now - t0)
+
+let span_add t ~track ?(cat = "span") name ~t0 ~t1 =
+  add_span t { track; name; cat; t0; t1 }
+
+let open_span_count t = Hashtbl.length t.open_spans
+
+type snapshot = {
+  counters : (string * int) list;  (* sorted by name *)
+  gauges : (string * int) list;  (* sorted by name *)
+  histograms : (string * Stats.summary) list;  (* sorted by name *)
+  spans : span list;  (* sorted by (t0, track), completion order on ties *)
+}
+
+let sorted_assoc fold tbl =
+  fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+let snapshot (t : t) =
+  {
+    counters = sorted_assoc Hashtbl.fold t.counters;
+    gauges = sorted_assoc Hashtbl.fold t.gauges;
+    histograms =
+      Hashtbl.fold
+        (fun k r acc -> (k, Stats.summarize_ints (List.rev !r)) :: acc)
+        t.hists []
+      |> List.sort (fun (a, _) (b, _) -> compare (a : string) b);
+    spans =
+      List.stable_sort
+        (fun a b -> compare (a.t0, a.track) (b.t0, b.track))
+        (List.rev t.spans_rev);
+  }

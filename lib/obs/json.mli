@@ -1,0 +1,27 @@
+(** A minimal JSON tree, writer and parser — just enough for the Chrome
+    trace-event exporter and the tests that parse its output back.  The
+    writer is deterministic (object members keep insertion order, floats
+    print via a fixed format), which is what keeps trace files
+    byte-identical across runs with the same seed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** @raise Parse_error on malformed input *)
+val of_string : string -> t
+
+(** [find j key] — object member lookup; [None] on non-objects. *)
+val find : t -> string -> t option
+
+(** Like {!find} but raises {!Parse_error} when absent. *)
+val member : t -> string -> t

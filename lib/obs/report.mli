@@ -1,0 +1,8 @@
+(** Table-rendered metrics report over an instrument snapshot: derived
+    per-object fast-path rates, raw counters, high-water gauges, cycle
+    histograms (with {!Threads_util.Stats} percentiles), and a span
+    aggregate.  Output is deterministic: every section is sorted by
+    name, so equal snapshots render byte-identically. *)
+
+val render : Instrument.snapshot -> string
+val print : Instrument.snapshot -> unit

@@ -1,5 +1,6 @@
 module Ops = Firefly.Machine.Ops
 module M = Firefly.Machine
+module Probe = Firefly.Machine.Probe
 module Tid = Threads_util.Tid
 
 type t = {
@@ -28,6 +29,7 @@ let create pkg =
   }
 
 let id c = c.interest
+let name c = Printf.sprintf "cond#%d" c.interest
 let queued c = Tqueue.length c.q
 
 type wake = Stale | Alerted_now | Woken
@@ -38,12 +40,14 @@ type wake = Stale | Alerted_now | Woken
    queue.  An alertable block that already has an alert pending departs
    immediately instead of sleeping. *)
 let block c i ~alertable =
+  let n = name c in
   let self = Ops.self () in
-  Spinlock.acquire c.pkg.lock;
+  Spinlock.acquire ~obs:n c.pkg.lock;
   let cur = Firefly.Eventcount.read c.evc in
   if cur <> i then begin
     Hashtbl.remove c.window self;
     Spinlock.release c.pkg.lock;
+    Probe.counter (n ^ ".stale_blocks") 1;
     Stale
   end
   else if alertable && Alerts.pending c.pkg.alerts self then begin
@@ -55,6 +59,8 @@ let block c i ~alertable =
   else begin
     Hashtbl.remove c.window self;
     Tqueue.push c.q self;
+    Probe.counter (n ^ ".blocks") 1;
+    Probe.gauge_max (n ^ ".queue_hwm") (Tqueue.length c.q);
     if alertable then
       Alerts.register c.pkg.alerts self (fun () ->
           (* Cancellation, run by Alert under the spin-lock. *)
@@ -66,7 +72,11 @@ let block c i ~alertable =
   end
 
 let wait_generic c m ~proc ~alertable =
+  let n = name c in
   let self = Ops.self () in
+  let t_start = Probe.now () in
+  Probe.counter (n ^ ".waits") 1;
+  Probe.span_begin ~cat:"cond" ("wait " ^ n);
   ignore (Ops.faa c.interest 1);
   (* Enqueue linearizes at the eventcount read: event emission, window
      entry and the read are one atomic instruction. *)
@@ -79,6 +89,12 @@ let wait_generic c m ~proc ~alertable =
   in
   Mutex.unlock_internal m ~event:(fun () -> None);
   let wake = block c i ~alertable in
+  (* The wakeup span ends here, before the re-acquire, so a thread's spans
+     stay properly nested ("held" begins at the winning TAS below); the
+     full Wait latency — enqueue to re-acquired — is sampled separately. *)
+  (match Probe.span_end ("wait " ^ n) with
+  | Some d -> Probe.sample (n ^ ".wakeup_cycles") d
+  | None -> ());
   let raise_it =
     alertable
     && (wake = Alerted_now
@@ -100,6 +116,7 @@ let wait_generic c m ~proc ~alertable =
    else
      Mutex.lock_internal m ~event:(fun () ->
          Some (Events.resume ~self ~m:(Mutex.id m) ~c:cid)));
+  Probe.sample (n ^ ".wait_cycles") (Probe.now () - t_start);
   ignore (Ops.faa c.interest (-1));
   if raise_it then raise Sync_intf.Alerted
 
@@ -111,7 +128,10 @@ let alert_wait c m = wait_generic c m ~proc:"AlertWait" ~alertable:true
    eventcount — atomically computing and logging the removal set — and
    ready the dequeued threads. *)
 let wake_some c ~take_all =
+  let n = name c in
   let self = Ops.self () in
+  Probe.counter (n ^ (if take_all then ".broadcasts" else ".signals")) 1;
+  Probe.counter (n ^ ".wakeup_waiting_hits") 0;
   let event removed =
     if take_all then Events.broadcast ~self ~c:(id c) ~removed
     else Events.signal ~self ~c:(id c) ~removed
@@ -122,10 +142,11 @@ let wake_some c ~take_all =
            if v = 0 then Some (event []) else None)
        = 0
   in
-  if not skipped then begin
+  if skipped then Probe.counter (n ^ ".nub_skips") 1
+  else begin
     Ops.incr_counter "nub.signal";
     let to_ready = ref [] in
-    Spinlock.acquire c.pkg.lock;
+    Spinlock.acquire ~obs:n c.pkg.lock;
     ignore
       (Ops.mem_emit
          (M.M_faa (Firefly.Eventcount.value_addr c.evc, 1))
@@ -140,6 +161,12 @@ let wake_some c ~take_all =
            Hashtbl.reset c.window;
            List.iter (Alerts.unregister c.pkg.alerts) from_q;
            to_ready := from_q;
+           (* A non-empty window is exactly the paper's wakeup-waiting
+              race: this Signal/Broadcast landed between another thread's
+              Enqueue linearization and its Block verdict. *)
+           if from_window <> [] then
+             Probe.counter (n ^ ".wakeup_waiting_hits")
+               (List.length from_window);
            Some (event (from_q @ from_window @ from_departing))));
     List.iter Ops.ready !to_ready;
     Spinlock.release c.pkg.lock

@@ -1,5 +1,6 @@
 module Ops = Firefly.Machine.Ops
 module M = Firefly.Machine
+module Probe = Firefly.Machine.Probe
 
 type t = {
   pkg : Pkg.t;
@@ -14,6 +15,16 @@ let create pkg =
   { pkg; bit; waiters; q = Tqueue.create () }
 
 let id m = m.bit
+let name m = Printf.sprintf "mutex#%d" m.bit
+
+(* Record a successful acquisition: per-object counters and the start of
+   the "held" span whose duration feeds the hold-time histogram.  Runs
+   inside the mem_emit thunk, atomically with the winning test-and-set. *)
+let on_acquired m ~fast =
+  let n = name m in
+  Probe.counter (n ^ ".acquires") 1;
+  Probe.counter (n ^ ".fast_path_hits") (if fast then 1 else 0);
+  Probe.span_begin ~cat:"mutex" ("held " ^ n)
 
 (* Nub subroutine for Acquire: under the spin-lock, enqueue the caller and
    re-test the Lock-bit.  Still held: deschedule (releasing the spin-lock
@@ -21,13 +32,22 @@ let id m = m.bit
    release the spin-lock.  Either way the caller retries from the
    test-and-set. *)
 let nub_acquire m =
+  let n = name m in
   Ops.incr_counter "nub.acquire";
+  Probe.counter (n ^ ".nub_acquires") 1;
   let self = Ops.self () in
-  Spinlock.acquire m.pkg.lock;
+  Spinlock.acquire ~obs:n m.pkg.lock;
   Tqueue.push m.q self;
   Ops.write m.waiters (Tqueue.length m.q);
-  if Ops.read m.bit <> 0 then
-    Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock)
+  Probe.gauge_max (n ^ ".queue_hwm") (Tqueue.length m.q);
+  if Ops.read m.bit <> 0 then begin
+    Probe.counter (n ^ ".blocks") 1;
+    Probe.span_begin ~cat:"mutex" ("wait " ^ n);
+    Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock);
+    match Probe.span_end ("wait " ^ n) with
+    | Some d -> Probe.sample (n ^ ".wait_cycles") d
+    | None -> ()
+  end
   else begin
     ignore (Tqueue.remove m.q self);
     Ops.write m.waiters (Tqueue.length m.q);
@@ -38,7 +58,8 @@ let nub_acquire m =
    it. *)
 let nub_release m =
   Ops.incr_counter "nub.release";
-  Spinlock.acquire m.pkg.lock;
+  Probe.counter (name m ^ ".nub_releases") 1;
+  Spinlock.acquire ~obs:(name m) m.pkg.lock;
   (match Tqueue.pop m.q with
   | Some t ->
     Ops.write m.waiters (Tqueue.length m.q);
@@ -46,37 +67,62 @@ let nub_release m =
   | None -> ());
   Spinlock.release m.pkg.lock
 
-let rec lock_internal m ~event =
+let rec lock_loop m ~first ~event =
   if m.pkg.fast_path then begin
     let old =
       Ops.mem_emit (M.M_tas m.bit) (fun old ->
-          if old = 0 then event () else None)
+          if old = 0 then begin
+            on_acquired m ~fast:first;
+            event ()
+          end
+          else None)
     in
     if old <> 0 then begin
       nub_acquire m;
-      lock_internal m ~event
+      lock_loop m ~first:false ~event
     end
   end
   else begin
     (* Ablation: every Acquire goes through the Nub. *)
+    let n = name m in
     Ops.incr_counter "nub.acquire";
-    Spinlock.acquire m.pkg.lock;
+    Probe.counter (n ^ ".nub_acquires") 1;
+    Spinlock.acquire ~obs:n m.pkg.lock;
     let old =
       Ops.mem_emit (M.M_tas m.bit) (fun old ->
-          if old = 0 then event () else None)
+          if old = 0 then begin
+            on_acquired m ~fast:false;
+            event ()
+          end
+          else None)
     in
     if old = 0 then Spinlock.release m.pkg.lock
     else begin
       let self = Ops.self () in
       Tqueue.push m.q self;
       Ops.write m.waiters (Tqueue.length m.q);
+      Probe.gauge_max (n ^ ".queue_hwm") (Tqueue.length m.q);
+      Probe.counter (n ^ ".blocks") 1;
+      Probe.span_begin ~cat:"mutex" ("wait " ^ n);
       Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock);
-      lock_internal m ~event
+      (match Probe.span_end ("wait " ^ n) with
+      | Some d -> Probe.sample (n ^ ".wait_cycles") d
+      | None -> ());
+      lock_loop m ~first:false ~event
     end
   end
 
+let lock_internal m ~event = lock_loop m ~first:true ~event
+
 let unlock_internal m ~event =
-  ignore (Ops.mem_emit (M.M_clear m.bit) (fun _ -> event ()));
+  let n = name m in
+  ignore
+    (Ops.mem_emit (M.M_clear m.bit) (fun _ ->
+         Probe.counter (n ^ ".releases") 1;
+         (match Probe.span_end ("held " ^ n) with
+         | Some d -> Probe.sample (n ^ ".hold_cycles") d
+         | None -> ());
+         event ()));
   if m.pkg.fast_path then begin
     if Ops.read m.waiters <> 0 then nub_release m
   end

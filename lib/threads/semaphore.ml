@@ -1,5 +1,6 @@
 module Ops = Firefly.Machine.Ops
 module M = Firefly.Machine
+module Probe = Firefly.Machine.Probe
 
 type t = {
   pkg : Pkg.t;
@@ -14,14 +15,21 @@ let create pkg =
   { pkg; bit; waiters; q = Tqueue.create () }
 
 let id s = s.bit
+let name s = Printf.sprintf "sem#%d" s.bit
+
+(* Unlike a mutex there is no "held" span: V need not come from the thread
+   that did the P, so a held region has no single track to live on.  The
+   per-object signal is the P-block span/histogram instead. *)
 
 (* Nub slow path shared by P and AlertP.  Returns [`Retry] after a wakeup
    by V, [`Alerted] when the sleep was cancelled (or pre-empted) by an
    alert, [`Acquired] when the bit turned out to be free on re-test. *)
 let nub_p s ~alertable =
+  let n = name s in
   Ops.incr_counter "nub.acquire";
+  Probe.counter (n ^ ".nub_acquires") 1;
   let self = Ops.self () in
-  Spinlock.acquire s.pkg.lock;
+  Spinlock.acquire ~obs:n s.pkg.lock;
   if alertable && Alerts.pending s.pkg.alerts self then begin
     Spinlock.release s.pkg.lock;
     `Alerted
@@ -29,12 +37,18 @@ let nub_p s ~alertable =
   else begin
     Tqueue.push s.q self;
     Ops.write s.waiters (Tqueue.length s.q);
+    Probe.gauge_max (n ^ ".queue_hwm") (Tqueue.length s.q);
     if Ops.read s.bit <> 0 then begin
       if alertable then
         Alerts.register s.pkg.alerts self (fun () ->
             ignore (Tqueue.remove s.q self);
             Ops.ready self);
+      Probe.counter (n ^ ".blocks") 1;
+      Probe.span_begin ~cat:"sem" ("P-block " ^ n);
       Ops.deschedule_and_clear (Spinlock.addr s.pkg.lock);
+      (match Probe.span_end ("P-block " ^ n) with
+      | Some d -> Probe.sample (n ^ ".p_block_cycles") d
+      | None -> ());
       if alertable && Alerts.take_woken_by_alert s.pkg.alerts self then
         `Alerted
       else `Retry
@@ -47,23 +61,32 @@ let nub_p s ~alertable =
     end
   end
 
-let try_tas s ~event =
-  Ops.mem_emit (M.M_tas s.bit) (fun old -> if old = 0 then event () else None)
+let try_tas s ~fast ~event =
+  let n = name s in
+  Ops.mem_emit (M.M_tas s.bit) (fun old ->
+      if old = 0 then begin
+        Probe.counter (n ^ ".acquires") 1;
+        Probe.counter (n ^ ".fast_path_hits") (if fast then 1 else 0);
+        event ()
+      end
+      else None)
   = 0
 
-let rec p_loop s ~alertable ~event =
+let rec p_loop s ~first ~alertable ~event =
   if s.pkg.fast_path then begin
-    if not (try_tas s ~event) then
+    if not (try_tas s ~fast:first ~event) then
       match nub_p s ~alertable with
       | `Alerted -> `Alerted
-      | `Retry | `Acquired -> p_loop s ~alertable ~event
+      | `Retry | `Acquired -> p_loop s ~first:false ~alertable ~event
     else `Acquired
   end
   else begin
     (* Ablation: always through the Nub. *)
+    let n = name s in
     Ops.incr_counter "nub.acquire";
-    Spinlock.acquire s.pkg.lock;
-    let got = try_tas s ~event in
+    Probe.counter (n ^ ".nub_acquires") 1;
+    Spinlock.acquire ~obs:n s.pkg.lock;
+    let got = try_tas s ~fast:false ~event in
     if got then begin
       Spinlock.release s.pkg.lock;
       `Acquired
@@ -77,14 +100,20 @@ let rec p_loop s ~alertable ~event =
       else begin
         Tqueue.push s.q self;
         Ops.write s.waiters (Tqueue.length s.q);
+        Probe.gauge_max (n ^ ".queue_hwm") (Tqueue.length s.q);
         if alertable then
           Alerts.register s.pkg.alerts self (fun () ->
               ignore (Tqueue.remove s.q self);
               Ops.ready self);
+        Probe.counter (n ^ ".blocks") 1;
+        Probe.span_begin ~cat:"sem" ("P-block " ^ n);
         Ops.deschedule_and_clear (Spinlock.addr s.pkg.lock);
+        (match Probe.span_end ("P-block " ^ n) with
+        | Some d -> Probe.sample (n ^ ".p_block_cycles") d
+        | None -> ());
         if alertable && Alerts.take_woken_by_alert s.pkg.alerts self then
           `Alerted
-        else p_loop s ~alertable ~event
+        else p_loop s ~first:false ~alertable ~event
       end
     end
   end
@@ -92,19 +121,23 @@ let rec p_loop s ~alertable ~event =
 let p s =
   let self = Ops.self () in
   match
-    p_loop s ~alertable:false ~event:(fun () ->
+    p_loop s ~first:true ~alertable:false ~event:(fun () ->
         Some (Events.p ~self ~s:s.bit))
   with
   | `Acquired -> ()
   | `Alerted -> assert false
 
 let v s =
+  let n = name s in
   let self = Ops.self () in
   ignore
-    (Ops.mem_emit (M.M_clear s.bit) (fun _ -> Some (Events.v ~self ~s:s.bit)));
+    (Ops.mem_emit (M.M_clear s.bit) (fun _ ->
+         Probe.counter (n ^ ".releases") 1;
+         Some (Events.v ~self ~s:s.bit)));
   if (not s.pkg.fast_path) || Ops.read s.waiters <> 0 then begin
     Ops.incr_counter "nub.release";
-    Spinlock.acquire s.pkg.lock;
+    Probe.counter (n ^ ".nub_releases") 1;
+    Spinlock.acquire ~obs:n s.pkg.lock;
     (match Tqueue.pop s.q with
     | Some t ->
       Ops.write s.waiters (Tqueue.length s.q);
@@ -117,7 +150,7 @@ let v s =
 let alert_p s =
   let self = Ops.self () in
   match
-    p_loop s ~alertable:true ~event:(fun () ->
+    p_loop s ~first:true ~alertable:true ~event:(fun () ->
         Some (Events.alert_p ~self ~s:s.bit ~alerted:false))
   with
   | `Acquired -> ()

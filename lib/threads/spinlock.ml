@@ -1,14 +1,34 @@
 module Ops = Firefly.Machine.Ops
+module Probe = Firefly.Machine.Probe
 
 type t = { bit : int }
 
 let create () = { bit = Ops.alloc 1 }
 
-let rec acquire l =
-  if Ops.tas l.bit then begin
-    Ops.incr_counter "spin.iterations";
-    acquire l
-  end
+(* [?obs] attributes contended spinning to the synchronization object
+   whose Nub subroutine took the spin-lock: per-object spin-iteration and
+   spin-cycle counters, plus a "spin <obj>" span when at least one TAS
+   failed.  The probe calls are not machine effects, so the instruction
+   sequence (and hence the schedule) is exactly that of the bare loop. *)
+let acquire ?obs l =
+  let t0 = Probe.now () in
+  let rec go ~spun =
+    if Ops.tas l.bit then begin
+      Ops.incr_counter "spin.iterations";
+      (match obs with
+      | Some n -> Probe.counter (n ^ ".spin_iters") 1
+      | None -> ());
+      go ~spun:true
+    end
+    else if spun then
+      match obs with
+      | Some n ->
+        let t1 = Probe.now () in
+        Probe.counter (n ^ ".spin_cycles") (t1 - t0);
+        Probe.span_add ~cat:"spin" ("spin " ^ n) ~t0 ~t1
+      | None -> ()
+  in
+  go ~spun:false
 
 let release l = Ops.clear l.bit
 let addr l = l.bit

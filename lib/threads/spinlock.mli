@@ -11,9 +11,13 @@ type t
 (** [create ()] — allocates the lock bit (thread context). *)
 val create : unit -> t
 
-(** [acquire l] busy-waits until the bit is won.  Spin iterations are
-    counted under the machine counter ["spin.iterations"]. *)
-val acquire : t -> unit
+(** [acquire ?obs l] busy-waits until the bit is won.  Spin iterations are
+    counted under the machine counter ["spin.iterations"]; with [?obs]
+    set to an object name (e.g. ["mutex#2"]), contended acquisitions are
+    additionally recorded in the instrument registry as
+    ["<obs>.spin_iters"] / ["<obs>.spin_cycles"] counters and a
+    ["spin <obs>"] span (zero simulated cost). *)
+val acquire : ?obs:string -> t -> unit
 
 val release : t -> unit
 
