@@ -269,9 +269,9 @@ let trace_cmd =
     let machine = report.Firefly.Interleave.machine in
     List.iteri
       (fun i e ->
-        Printf.printf "%3d  %s\n" i (Firefly.Trace.event_to_string e))
+        Printf.printf "%3d  %s\n" i (Spec_trace.event_to_string e))
       (Firefly.Machine.trace machine);
-    let rep = Threads_model.Conformance.check_machine iface machine in
+    let rep = Threads_model.Conformance.check iface (Firefly.Machine.trace machine) in
     Format.printf "---@.%a@." Threads_model.Conformance.pp_report rep;
     if not (Threads_model.Conformance.ok rep) then exit 2
   in
@@ -284,6 +284,155 @@ let trace_cmd =
           (--format=chrome --out=FILE)")
     Term.(const run $ seed $ variant $ format $ out)
 
+(* ---- cross-backend conformance / differential testing ---- *)
+
+module Bk = Threads_backend.Backend
+module Wl = Threads_backend.Workload
+module Cc = Threads_backend.Crosscheck
+
+let resolve_workloads name =
+  if name = "all" then Wl.all
+  else
+    match Wl.find name with
+    | Some w -> [ w ]
+    | None ->
+      Printf.eprintf "unknown workload %s; available: %s, all\n" name
+        (String.concat ", " (Wl.names ()));
+      exit 1
+
+let pp_verdicts vs =
+  String.concat ", "
+    (List.map (fun (v, n) -> Printf.sprintf "%dx %s" n v) vs)
+
+let pp_observables = function
+  | [] -> "-"
+  | obs -> String.concat " / " obs
+
+let summary_row (s : Cc.summary) =
+  if s.skipped then
+    [ s.backend.Bk.name; "skipped"; "-"; "-"; "-" ]
+  else
+    [
+      s.backend.Bk.name;
+      pp_verdicts (Cc.verdicts s);
+      pp_observables (Cc.observables s);
+      Threads_util.Table.cell_int (Cc.events s);
+      Threads_util.Table.cell_int (Cc.violations s);
+    ]
+
+let conform_cmd =
+  let backend =
+    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"B"
+           ~doc:"Backend to check (sim, uniproc, naive, hoare, multicore)")
+  in
+  let workload =
+    Arg.(value & opt string "all" & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload name, or $(b,all)")
+  in
+  let seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of seeds (schedules) per workload")
+  in
+  let run backend workload seeds =
+    let b =
+      match Bk.find backend with
+      | Some b -> b
+      | None ->
+        Printf.eprintf "unknown backend %s; available: %s\n" backend
+          (String.concat ", " (Bk.names ()));
+        exit 1
+    in
+    let failed = ref false in
+    List.iter
+      (fun (wl : Wl.t) ->
+        let s = Cc.conform b wl ~seeds in
+        if s.Cc.skipped then
+          Printf.printf "%-10s skipped (backend lacks a required feature)\n"
+            wl.name
+        else begin
+          Printf.printf "%-10s %d seeds | %s | observable: %s | %d events, %d violations\n"
+            wl.name seeds
+            (pp_verdicts (Cc.verdicts s))
+            (pp_observables (Cc.observables s))
+            (Cc.events s) (Cc.violations s);
+          (match Cc.first_error s with
+          | Some e when not b.Bk.conforming ->
+            Printf.printf "           (expected divergence) first: %s\n" e
+          | Some e ->
+            Printf.printf "           FIRST VIOLATION: %s\n" e
+          | None -> ());
+          if b.Bk.conforming && not (Cc.ok s) then failed := true
+        end)
+      (resolve_workloads workload);
+    if !failed then begin
+      Printf.printf "FAIL: %s claims conformance but diverged\n" b.Bk.name;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Run backend-generic workloads on one backend, replay its \
+          linearization-point trace against the formal specification, and \
+          report violations (non-zero exit if a conforming backend \
+          diverges)")
+    Term.(const run $ backend $ workload $ seeds)
+
+let diff_cmd =
+  let workload =
+    Arg.(value & opt string "all" & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload name, or $(b,all)")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of seeds (schedules) per backend")
+  in
+  let run workload seeds =
+    let failed = ref false in
+    List.iter
+      (fun (wl : Wl.t) ->
+        let summaries = Cc.diff wl ~seeds in
+        let t =
+          Threads_util.Table.create
+            ~title:
+              (Printf.sprintf "diff: %s (%s; %d seeds per backend)" wl.name
+                 wl.description seeds)
+            [ "backend"; "verdicts"; "observable"; "events"; "violations" ]
+        in
+        List.iter
+          (fun s -> Threads_util.Table.add_row t (summary_row s))
+          summaries;
+        Threads_util.Table.print t;
+        List.iter
+          (fun (s : Cc.summary) ->
+            if s.backend.Bk.conforming && not s.skipped && not (Cc.ok s)
+            then begin
+              failed := true;
+              Printf.printf "FAIL: %s diverged on %s%s\n" s.backend.Bk.name
+                wl.name
+                (match Cc.first_error s with
+                | Some e -> ": " ^ e
+                | None -> "")
+            end)
+          summaries;
+        print_newline ())
+      (resolve_workloads workload);
+    print_endline
+      "Expected divergence: naive deadlocks the broadcast workload (E5: \
+       coalescing Vs strand waiters); hoare completes but accrues one \
+       Resume violation per effective signal (E8: signal hands the mutex \
+       over, so Resume's WHEN m = NIL fails).";
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Run one workload on every registered backend and compare \
+          verdicts, observables and spec-conformance side by side; the \
+          deliberately-broken baselines must diverge exactly where E5/E8 \
+          predict (non-zero exit if a conforming backend diverges)")
+    Term.(const run $ workload $ seeds)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -295,4 +444,8 @@ let () =
          Primitives for a Multiprocessor: A Formal Specification (SRC-20, \
          1987)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd;
+            conform_cmd; diff_cmd ]))

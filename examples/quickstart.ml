@@ -96,8 +96,8 @@ let () =
   (* ... and because the simulator logs every atomic action, we can verify
      the whole run against the paper's formal specification: *)
   let conf =
-    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-      report.Firefly.Interleave.machine
+    Threads_model.Conformance.check Spec_core.Threads_interface.final
+      (Firefly.Machine.trace report.Firefly.Interleave.machine)
   in
   Printf.printf "  conformance vs formal spec: %s\n"
     (if Threads_model.Conformance.ok conf then "every event admitted"

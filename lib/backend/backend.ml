@@ -1,0 +1,237 @@
+module Tid = Threads_util.Tid
+module Sync_intf = Taos_threads.Sync_intf
+module Ops = Firefly.Machine.Ops
+
+type verdict = Completed | Deadlocked | Crashed of string
+
+type outcome = {
+  verdict : verdict;
+  observable : string option;
+  trace : Spec_trace.event list;
+  steps : int option;  (** simulator backends only *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  real_parallelism : bool;
+  conforming : bool;  (** false for the deliberately-divergent baselines *)
+  supports : Workload.feature list;
+  run : seed:int -> Workload.t -> outcome;
+}
+
+let supports b (wl : Workload.t) =
+  List.for_all (fun f -> List.mem f b.supports) wl.needs
+
+let pp_verdict ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Deadlocked -> Format.pp_print_string ppf "deadlock"
+  | Crashed msg -> Format.fprintf ppf "crashed: %s" msg
+
+(* Shared wrapper for the three drivers built on the simulator: map the
+   interleaving report (plus any thread failures) to an outcome and pull
+   the machine's event trace. *)
+let of_report observable (report : Firefly.Interleave.report) =
+  let verdict =
+    match Firefly.Machine.failures report.machine with
+    | (tid, e) :: _ ->
+      Crashed (Printf.sprintf "t%d: %s" tid (Printexc.to_string e))
+    | [] -> (
+      match report.verdict with
+      | Firefly.Interleave.Completed -> Completed
+      | Firefly.Interleave.Deadlock _ -> Deadlocked
+      | Firefly.Interleave.Step_limit -> Crashed "step limit")
+  in
+  {
+    verdict;
+    observable = (match verdict with Completed -> !observable | _ -> None);
+    trace = Firefly.Machine.trace report.machine;
+    steps = Some report.steps;
+  }
+
+let max_steps = 2_000_000
+
+let sim_run ~seed (wl : Workload.t) =
+  let observable = ref None in
+  let report =
+    Taos_threads.Api.run ~seed ~max_steps (fun sync ->
+        let module S = (val sync) in
+        observable := Some (wl.body (module S : Sync_intf.SYNC)))
+  in
+  of_report observable report
+
+let uniproc_run ~seed (wl : Workload.t) =
+  let observable = ref None in
+  let report =
+    Taos_threads.Uniproc.run ~seed
+      ~strategy:(Firefly.Sched.random seed)
+      ~max_steps
+      (fun sync ->
+        let module S = (val sync) in
+        observable := Some (wl.body (module S : Sync_intf.SYNC)))
+  in
+  of_report observable report
+
+(* The rejected design as a full backend: the two-layer Taos mutex,
+   semaphore and alert machinery, with conditions represented by a binary
+   semaphore (Naive).  Alertable waits have no encoding there. *)
+let naive_make pkg : (module Sync_intf.SYNC) =
+  (module struct
+    module T = Taos_threads
+
+    type mutex = T.Mutex.t
+    type condition = T.Naive.t
+    type semaphore = T.Semaphore.t
+    type thread = Tid.t
+
+    let mutex () = T.Mutex.create pkg
+    let condition () = T.Naive.create pkg
+    let semaphore () = T.Semaphore.create pkg
+    let acquire = T.Mutex.acquire
+    let release = T.Mutex.release
+    let with_lock = T.Mutex.with_lock
+    let wait m c = T.Naive.wait c m
+    let signal = T.Naive.signal
+    let broadcast = T.Naive.broadcast
+    let p = T.Semaphore.p
+    let v = T.Semaphore.v
+
+    let alert target =
+      T.Alerts.alert pkg.T.Pkg.alerts ~lock:pkg.T.Pkg.lock ~self:(Ops.self ())
+        ~target
+
+    let test_alert () = T.Alerts.test_alert pkg.T.Pkg.alerts ~self:(Ops.self ())
+    let alert_wait _ _ = failwith "naive backend: alert_wait unsupported"
+    let alert_p = T.Semaphore.alert_p
+    let self () = Ops.self ()
+    let fork f = Ops.spawn f
+    let join = Ops.join
+    let yield = Ops.yield
+  end)
+
+let naive_run ~seed (wl : Workload.t) =
+  let observable = ref None in
+  let report =
+    Firefly.Interleave.run ~seed ~max_steps (fun machine ->
+        ignore
+          (Firefly.Machine.spawn_root machine (fun () ->
+               let pkg = Taos_threads.Pkg.create () in
+               observable := Some (wl.body (naive_make pkg)))))
+  in
+  of_report observable report
+
+(* Hoare monitors as the mutex/condition pair (conditions bind to their
+   monitor at first wait), Taos semaphores alongside; no alerting. *)
+let hoare_make pkg : (module Sync_intf.SYNC) =
+  (module struct
+    module H = Taos_threads.Hoare
+
+    type mutex = H.monitor
+    type condition = { mutable bound : H.cond option }
+    type semaphore = Taos_threads.Semaphore.t
+    type thread = Tid.t
+
+    let mutex () = H.monitor ()
+    let condition () = { bound = None }
+    let semaphore () = Taos_threads.Semaphore.create pkg
+    let acquire = H.enter
+    let release = H.exit
+    let with_lock = H.with_monitor
+
+    let bind m c =
+      match c.bound with
+      | Some hc -> hc
+      | None ->
+        let hc = H.condition m in
+        c.bound <- Some hc;
+        hc
+
+    let wait m c = H.wait (bind m c)
+
+    (* An unbound condition never had a waiter: both wakes are no-ops. *)
+    let signal c = Option.iter H.signal c.bound
+    let broadcast c = Option.iter H.broadcast c.bound
+    let p = Taos_threads.Semaphore.p
+    let v = Taos_threads.Semaphore.v
+    let alert _ = failwith "hoare backend: alerting unsupported"
+    let test_alert () = failwith "hoare backend: alerting unsupported"
+    let alert_wait _ _ = failwith "hoare backend: alerting unsupported"
+    let alert_p _ = failwith "hoare backend: alerting unsupported"
+    let self () = Ops.self ()
+    let fork f = Ops.spawn f
+    let join = Ops.join
+    let yield = Ops.yield
+  end)
+
+let hoare_run ~seed (wl : Workload.t) =
+  let observable = ref None in
+  let report =
+    Firefly.Interleave.run ~seed ~max_steps (fun machine ->
+        ignore
+          (Firefly.Machine.spawn_root machine (fun () ->
+               let pkg = Taos_threads.Pkg.create () in
+               observable := Some (wl.body (hoare_make pkg)))))
+  in
+  of_report observable report
+
+let multicore_run ~seed:_ (wl : Workload.t) =
+  let module MC = Threads_multicore.Multicore in
+  match
+    MC.traced_run (fun () -> wl.body (module MC.Sync : Sync_intf.SYNC))
+  with
+  | observable, trace ->
+    { verdict = Completed; observable = Some observable; trace; steps = None }
+  | exception e ->
+    {
+      verdict = Crashed (Printexc.to_string e);
+      observable = None;
+      trace = [];
+      steps = None;
+    }
+
+let all =
+  [
+    {
+      name = "sim";
+      description = "Firefly simulator, Taos two-layer implementation";
+      real_parallelism = false;
+      conforming = true;
+      supports = [ Workload.Alerts ];
+      run = sim_run;
+    };
+    {
+      name = "uniproc";
+      description = "cooperative uniprocessor implementation";
+      real_parallelism = false;
+      conforming = true;
+      supports = [ Workload.Alerts ];
+      run = uniproc_run;
+    };
+    {
+      name = "naive";
+      description = "condition variables as binary semaphores (E5 baseline)";
+      real_parallelism = false;
+      conforming = false;
+      supports = [];
+      run = naive_run;
+    };
+    {
+      name = "hoare";
+      description = "Hoare monitors: signal hands over the mutex (E8 baseline)";
+      real_parallelism = false;
+      conforming = false;
+      supports = [];
+      run = hoare_run;
+    };
+    {
+      name = "multicore";
+      description = "OCaml 5 domains with atomic fast paths";
+      real_parallelism = true;
+      conforming = true;
+      supports = [ Workload.Alerts ];
+      run = multicore_run;
+    };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all
+let names () = List.map (fun b -> b.name) all

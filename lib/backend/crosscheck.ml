@@ -1,0 +1,78 @@
+module Conformance = Threads_model.Conformance
+
+type run = {
+  seed : int;
+  outcome : Backend.outcome;
+  report : Conformance.report;
+}
+
+type summary = {
+  backend : Backend.t;
+  workload : Workload.t;
+  skipped : bool;
+  runs : run list;
+}
+
+let iface = Spec_core.Threads_interface.final
+
+let conform (backend : Backend.t) (workload : Workload.t) ~seeds =
+  if not (Backend.supports backend workload) then
+    { backend; workload; skipped = true; runs = [] }
+  else
+    let runs =
+      List.init seeds (fun seed ->
+          let outcome = backend.run ~seed workload in
+          let report = Conformance.check iface outcome.trace in
+          { seed; outcome; report })
+    in
+    { backend; workload; skipped = false; runs }
+
+let violations s =
+  List.fold_left
+    (fun acc r -> acc + List.length r.report.Conformance.errors)
+    0 s.runs
+
+let events s =
+  List.fold_left (fun acc r -> acc + r.report.Conformance.events) 0 s.runs
+
+let completed s =
+  List.for_all (fun r -> r.outcome.Backend.verdict = Backend.Completed) s.runs
+
+let verdicts s =
+  List.fold_left
+    (fun acc r ->
+      let key =
+        Format.asprintf "%a" Backend.pp_verdict r.outcome.Backend.verdict
+      in
+      match List.assoc_opt key acc with
+      | Some n -> (key, n + 1) :: List.remove_assoc key acc
+      | None -> acc @ [ (key, 1) ])
+    [] s.runs
+
+let observables s =
+  List.sort_uniq compare
+    (List.filter_map (fun r -> r.outcome.Backend.observable) s.runs)
+
+(* A summary passes when every seed completed with the same observable and
+   the whole trace set replayed without a spec violation. *)
+let ok s =
+  (not s.skipped)
+  && completed s
+  && violations s = 0
+  && List.length (observables s) <= 1
+
+let first_error s =
+  List.find_map
+    (fun r ->
+      match r.report.Conformance.errors with
+      | e :: _ ->
+        Some
+          (Format.asprintf "seed %d, event [%d] %a: %s" r.seed
+             e.Conformance.index Spec_trace.pp_event e.Conformance.event
+             e.Conformance.message)
+      | [] -> None)
+    s.runs
+
+(* Run every registered backend able to take the workload. *)
+let diff (workload : Workload.t) ~seeds =
+  List.map (fun b -> conform b workload ~seeds) Backend.all

@@ -1,0 +1,46 @@
+(** Cross-backend differential conformance.
+
+    [conform] replays one backend's traces against the formal
+    specification over many seeds; [diff] does so for every registered
+    backend on one workload, which is the whole test: conforming backends
+    must complete with identical observables and zero violations, while
+    the baselines diverge exactly where experiments E5 and E8 say —
+    [naive] deadlocks the broadcast workload, [hoare] accumulates one
+    Resume violation per effective signal. *)
+
+type run = {
+  seed : int;
+  outcome : Backend.outcome;
+  report : Threads_model.Conformance.report;
+}
+
+type summary = {
+  backend : Backend.t;
+  workload : Workload.t;
+  skipped : bool;  (** workload needs a feature the backend lacks *)
+  runs : run list;
+}
+
+(** [conform b w ~seeds] — run seeds [0..seeds-1] and check each trace. *)
+val conform : Backend.t -> Workload.t -> seeds:int -> summary
+
+(** Aggregates over a summary's runs. *)
+
+val violations : summary -> int
+val events : summary -> int
+val completed : summary -> bool
+
+(** Verdict string -> occurrence count, in first-seen order. *)
+val verdicts : summary -> (string * int) list
+
+(** Distinct observables, sorted. *)
+val observables : summary -> string list
+
+(** Every seed completed, one observable, zero violations. *)
+val ok : summary -> bool
+
+(** First spec violation, rendered with its seed and trace position. *)
+val first_error : summary -> string option
+
+(** [diff w ~seeds] — [conform] on every registered backend. *)
+val diff : Workload.t -> seeds:int -> summary list

@@ -1,0 +1,179 @@
+module Sync_intf = Taos_threads.Sync_intf
+
+type feature = Alerts
+
+type t = {
+  name : string;
+  description : string;
+  needs : feature list;
+  body : (module Sync_intf.SYNC) -> string;
+}
+
+(* Four threads hammer one counter; mutual exclusion makes the observable
+   schedule-independent. *)
+let mutex_body (module S : Sync_intf.SYNC) =
+  let m = S.mutex () in
+  let count = ref 0 in
+  let worker () =
+    for _ = 1 to 25 do
+      S.with_lock m (fun () -> incr count)
+    done
+  in
+  let ts = List.init 4 (fun _ -> S.fork worker) in
+  List.iter S.join ts;
+  Printf.sprintf "count=%d" !count
+
+(* Single producer, single consumer, Mesa-style predicate loop.  One
+   waiter keeps Signal sound even on the Naive baseline (the paper's
+   one-bit argument covers Signal; only Broadcast breaks it). *)
+let condvar_body (module S : Sync_intf.SYNC) =
+  let items = 30 in
+  let m = S.mutex () in
+  let nonempty = S.condition () in
+  let buf = ref 0 in
+  let consumed = ref 0 in
+  let consumer () =
+    for _ = 1 to items do
+      S.with_lock m (fun () ->
+          while !buf = 0 do
+            S.wait m nonempty
+          done;
+          decr buf;
+          incr consumed)
+    done
+  in
+  let c = S.fork consumer in
+  for _ = 1 to items do
+    S.with_lock m (fun () ->
+        incr buf;
+        S.signal nonempty)
+  done;
+  S.join c;
+  Printf.sprintf "consumed=%d" !consumed
+
+(* Strict alternation on two binary semaphores (pong starts unavailable). *)
+let semaphore_body (module S : Sync_intf.SYNC) =
+  let rounds = 15 in
+  let ping = S.semaphore () in
+  let pong = S.semaphore () in
+  S.p pong;
+  let rallies = ref 0 in
+  let b =
+    S.fork (fun () ->
+        for _ = 1 to rounds do
+          S.p pong;
+          incr rallies;
+          S.v ping
+        done)
+  in
+  for _ = 1 to rounds do
+    S.p ping;
+    S.v pong
+  done;
+  S.join b;
+  Printf.sprintf "rallies=%d" !rallies
+
+(* Alerts land in all three places they can: an alertable wait, an
+   alertable P, and the caller's own pending flag via TestAlert. *)
+let alert_body (module S : Sync_intf.SYNC) =
+  let m = S.mutex () in
+  let c = S.condition () in
+  let s = S.semaphore () in
+  let wait_result = ref "" in
+  let p_result = ref "" in
+  let w =
+    S.fork (fun () ->
+        S.with_lock m (fun () ->
+            match S.alert_wait m c with
+            | () -> wait_result := "woken"
+            | exception Sync_intf.Alerted -> wait_result := "alerted"))
+  in
+  S.p s;
+  (* s is now held: the victim can only leave AlertP by being alerted. *)
+  let victim =
+    S.fork (fun () ->
+        match S.alert_p s with
+        | () -> p_result := "acquired"
+        | exception Sync_intf.Alerted -> p_result := "alerted")
+  in
+  S.alert w;
+  S.alert victim;
+  S.join w;
+  S.join victim;
+  S.v s;
+  S.alert (S.self ());
+  let t1 = S.test_alert () in
+  let t2 = S.test_alert () in
+  Printf.sprintf "wait=%s p=%s test=%b,%b" !wait_result !p_result t1 t2
+
+(* The E5 scenario: several threads are provably inside Wait when a single
+   Broadcast fires.  A conforming backend wakes all of them; the Naive
+   baseline's coalescing Vs strand at least one, and the run deadlocks. *)
+let broadcast_body (module S : Sync_intf.SYNC) =
+  let waiters = 3 in
+  let m = S.mutex () in
+  let c = S.condition () in
+  let waiting = ref 0 in
+  let flag = ref false in
+  let woken = ref 0 in
+  let waiter () =
+    S.with_lock m (fun () ->
+        incr waiting;
+        while not !flag do
+          S.wait m c
+        done;
+        incr woken)
+  in
+  let ws = List.init waiters (fun _ -> S.fork waiter) in
+  (* A waiter increments [waiting] under the mutex and releases it only by
+     entering Wait, so seeing [waiting = 3] under the mutex proves all
+     three have passed their Enqueue. *)
+  let rec settle () =
+    if S.with_lock m (fun () -> !waiting) < waiters then begin
+      S.yield ();
+      settle ()
+    end
+  in
+  settle ();
+  S.with_lock m (fun () ->
+      flag := true;
+      S.broadcast c);
+  List.iter S.join ws;
+  Printf.sprintf "woken=%d" !woken
+
+let all =
+  [
+    {
+      name = "mutex";
+      description = "4 threads x 25 guarded increments";
+      needs = [];
+      body = mutex_body;
+    };
+    {
+      name = "condvar";
+      description = "producer/consumer, 30 items, Mesa predicate loop";
+      needs = [];
+      body = condvar_body;
+    };
+    {
+      name = "semaphore";
+      description = "two-semaphore ping-pong, 15 rallies";
+      needs = [];
+      body = semaphore_body;
+    };
+    {
+      name = "alert";
+      description = "alerted Wait, alerted P, TestAlert on self";
+      needs = [ Alerts ];
+      body = alert_body;
+    };
+    {
+      name = "broadcast";
+      description = "3 provably-parked waiters, one Broadcast (E5 shape)";
+      needs = [];
+      body = broadcast_body;
+    };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+let names () = List.map (fun w -> w.name) all

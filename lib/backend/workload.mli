@@ -1,0 +1,27 @@
+(** Backend-generic harness workloads.
+
+    A workload is a client program written against
+    {!Taos_threads.Sync_intf.SYNC} whose observable result is
+    schedule-independent: any conforming backend, cooperative or truly
+    parallel, must complete it and produce the same string.  Divergence —
+    a different observable, a deadlock, or spec violations in the emitted
+    trace — is therefore attributable to the backend, which is what
+    [repro diff] exploits. *)
+
+type feature = Alerts  (** the workload uses Alert/TestAlert/Alert*. *)
+
+type t = {
+  name : string;
+  description : string;
+  needs : feature list;  (** backend capabilities required to run *)
+  body : (module Taos_threads.Sync_intf.SYNC) -> string;
+      (** returns the observable *)
+}
+
+(** mutex, condvar, semaphore, alert, broadcast — the [broadcast] workload
+    is the E5 stranding scenario: three waiters provably inside Wait when
+    one Broadcast fires. *)
+val all : t list
+
+val find : string -> t option
+val names : unit -> string list

@@ -1,4 +1,5 @@
 module Tid = Threads_util.Tid
+module Trace = Spec_trace
 
 type status = Runnable | Blocked | Finished | Failed of exn
 
@@ -79,7 +80,7 @@ type t = {
   mutable mem_used : int;
   mutable threads : thread array;  (* index = tid *)
   mutable nthreads : int;
-  mutable trace_rev : Trace.event list;
+  sink : Trace.Sink.t;  (* the backend-neutral linearization record *)
   counters : (string, int) Hashtbl.t;
   obs : Obs.Instrument.t;
   mutable total_instr : int;
@@ -115,7 +116,7 @@ let create ?(seed = 0) ?(cost = Cost.default) () =
     mem_used = 0;
     threads = Array.make 16 dummy_thread;
     nthreads = 0;
-    trace_rev = [];
+    sink = Trace.Sink.create ();
     counters = Hashtbl.create 16;
     obs = Obs.Instrument.create ();
     total_instr = 0;
@@ -344,7 +345,7 @@ let execute_effect (type a) m t (eff : a Effect.t)
     resume m t k ();
     0
   | E_emit ev ->
-    m.trace_rev <- ev :: m.trace_rev;
+    Trace.Sink.emit m.sink ev;
     resume m t k ();
     0
   | E_tick n ->
@@ -387,7 +388,7 @@ let execute_effect (type a) m t (eff : a Effect.t)
        operation; it may update package bookkeeping but must not perform
        machine effects. *)
     (match thunk result with
-    | Some ev -> m.trace_rev <- ev :: m.trace_rev
+    | Some ev -> Trace.Sink.emit m.sink ev
     | None -> ());
     resume m t k result;
     cost
@@ -417,7 +418,8 @@ let step m tid =
       | Gone ->
         failwith (Printf.sprintf "Machine.step: t%d has no continuation" tid))
 
-let trace m = List.rev m.trace_rev
+let trace m = Trace.Sink.events m.sink
+let sink m = m.sink
 
 let counters m =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.counters []
@@ -451,6 +453,18 @@ let obs m = m.obs
 module Probe = struct
   let now () =
     match !current with Some (m, _) -> m.total_cycles | None -> 0
+
+  (* Append a trace event at the current instant without an effect.  Meant
+     for [mem_emit] thunks that linearize more than one visible action in a
+     single instruction (e.g. Hoare's monitor handoff: Release + Acquire). *)
+  let emit ev =
+    match !current with
+    | Some (m, _) -> Trace.Sink.emit m.sink ev
+    | None -> ()
+
+  (* The stepping thread's id, without the E_self effect (and so without a
+     scheduling point): lets a [mem_emit] thunk name itself in an event. *)
+  let self () = match !current with Some (_, tid) -> Some tid | None -> None
 
   let counter name n =
     match !current with

@@ -70,7 +70,7 @@ module Ops : sig
   val ready : Threads_util.Tid.t -> unit
 
   (** [emit ev] appends a trace event at the current instant (zero cost). *)
-  val emit : Trace.event -> unit
+  val emit : Spec_trace.event -> unit
 
   (** [tick n] consumes [n] cycles of pure computation (one instruction). *)
   val tick : int -> unit
@@ -95,7 +95,7 @@ module Ops : sig
       separated from the memory operation that commits the action.  The
       thunk may update package-level bookkeeping but must not perform
       machine effects. *)
-  val mem_emit : mem_op -> (int -> Trace.event option) -> int
+  val mem_emit : mem_op -> (int -> Spec_trace.event option) -> int
 end
 
 (** {1 Observation probes (thread code, zero simulated cost)}
@@ -112,6 +112,18 @@ end
 module Probe : sig
   (** Current simulated time: the machine's running total-cycle clock. *)
   val now : unit -> int
+
+  (** [emit ev] appends a trace event at the current instant without
+      performing an effect.  For {!Ops.mem_emit} thunks whose single
+      instruction linearizes more than one visible action (e.g. a monitor
+      handoff: Release and the successor's Acquire commit together). *)
+  val emit : Spec_trace.event -> unit
+
+  (** The thread currently inside {!step} — i.e. the caller's own id when
+      invoked from package code or a [mem_emit] thunk; [None] outside a
+      machine.  Unlike {!Ops.self} this performs no effect, so it adds no
+      scheduling point. *)
+  val self : unit -> Threads_util.Tid.t option
 
   (** [counter name n] adds [n]; [counter name 0] materializes the counter
       at 0 so it shows in reports. *)
@@ -169,8 +181,12 @@ val step : t -> Threads_util.Tid.t -> int
 
 (** {1 Observation} *)
 
-val trace : t -> Trace.event list
+val trace : t -> Spec_trace.event list
 (** in emission order *)
+
+(** The machine's underlying event sink ({!Spec_trace.Sink}); [trace] is
+    its current contents. *)
+val sink : t -> Spec_trace.Sink.t
 
 val counters : t -> (string * int) list
 val counter : t -> string -> int

@@ -79,12 +79,12 @@ let run () =
       let wakeups machine proc =
         let evs =
           List.filter
-            (fun (e : Firefly.Trace.event) -> e.proc = proc)
+            (fun (e : Spec_trace.event) -> e.proc = proc)
             (Firefly.Machine.trace machine)
         in
         let total =
           List.fold_left
-            (fun acc (e : Firefly.Trace.event) ->
+            (fun acc (e : Spec_trace.event) ->
               acc + List.length e.removed)
             0 evs
         in

@@ -54,14 +54,14 @@ let run () =
     in
     let machine = report.Firefly.Interleave.machine in
     List.iter
-      (fun (e : Firefly.Trace.event) ->
+      (fun (e : Spec_trace.event) ->
         if e.proc = "Signal" then bump (List.length e.removed))
       (Firefly.Machine.trace machine);
     if
       not
         (Threads_model.Conformance.ok
-           (Threads_model.Conformance.check_machine
-              Spec_core.Threads_interface.final machine))
+           (Threads_model.Conformance.check
+              Spec_core.Threads_interface.final (Firefly.Machine.trace machine)))
     then incr nonconforming
   done;
   let t =

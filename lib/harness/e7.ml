@@ -99,14 +99,14 @@ let run_b () =
     if
       not
         (Threads_model.Conformance.ok
-           (Threads_model.Conformance.check_machine Threads_interface.final
-              machine))
+           (Threads_model.Conformance.check Threads_interface.final
+              (Firefly.Machine.trace machine)))
     then incr rejected_by_final;
     if
       not
         (Threads_model.Conformance.ok
-           (Threads_model.Conformance.check_machine
-              Threads_interface.must_raise machine))
+           (Threads_model.Conformance.check
+              Threads_interface.must_raise (Firefly.Machine.trace machine)))
     then incr rejected_by_must_raise
   done;
   let t =

@@ -1,0 +1,6 @@
+(** Registers every experiment (E1–E10) with {!Exp}.
+
+    Call {!init} once before {!Exp.find} / {!Exp.all}; it is idempotent,
+    so callers need not coordinate. *)
+
+val init : unit -> unit

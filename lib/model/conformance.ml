@@ -1,7 +1,7 @@
 module Tid = Threads_util.Tid
 open Spec_core
 
-type error = { index : int; event : Firefly.Trace.event; message : string }
+type error = { index : int; event : Spec_trace.event; message : string }
 
 type report = {
   events : int;
@@ -17,7 +17,7 @@ let pp_report ppf r =
     (List.length r.requires_violations);
   List.iter
     (fun e ->
-      Format.fprintf ppf "@\n  [%d] %a: %s" e.index Firefly.Trace.pp_event
+      Format.fprintf ppf "@\n  [%d] %a: %s" e.index Spec_trace.pp_event
         e.event e.message)
     r.errors
 
@@ -48,15 +48,15 @@ let obj_for ctx ~sort ~impl_id =
 
 (* Resolve the event's arguments against the procedure's formals, creating
    spec objects on first sight. *)
-let bindings_of ctx (proc : Proc.t) (ev : Firefly.Trace.event) =
+let bindings_of ctx (proc : Proc.t) (ev : Spec_trace.event) =
   List.map
     (fun (f : Proc.formal) ->
       match List.assoc_opt f.f_name ev.args with
       | None -> failwith (Printf.sprintf "event lacks argument %s" f.f_name)
-      | Some (Firefly.Trace.Obj impl_id) ->
+      | Some (Spec_trace.Obj impl_id) ->
         let sort = Proc.sort_of_type ctx.iface f.f_type in
         (f.f_name, Term.Obj (obj_for ctx ~sort ~impl_id))
-      | Some (Firefly.Trace.Thr t) -> (f.f_name, Term.Const (Value.Thread t)))
+      | Some (Spec_trace.Thr t) -> (f.f_name, Term.Const (Value.Thread t)))
     proc.p_formals
 
 let arg_obj bindings name =
@@ -73,7 +73,7 @@ let arg_thread bindings name =
    state the implementation's action denotes.  This encodes only which
    procedure touched what — the legality of the transition is judged
    afterwards by the spec clauses. *)
-let post_of ctx bindings (ev : Firefly.Trace.event) =
+let post_of ctx bindings (ev : Spec_trace.event) =
   let st = ctx.state in
   let self = ev.self in
   let set_obj name v st = State.set st (arg_obj bindings name) v in
@@ -87,9 +87,9 @@ let post_of ctx bindings (ev : Firefly.Trace.event) =
     let st = State.set st c (Value.Set (Tid.Set.add self members)) in
     set_obj "m" Value.Nil st
   | "Wait", "Resume", _ -> set_obj "m" (Value.Thread self) st
-  | "AlertWait", "AlertResume", Firefly.Trace.Ret ->
+  | "AlertWait", "AlertResume", Spec_trace.Ret ->
     set_obj "m" (Value.Thread self) st
-  | "AlertWait", "AlertResume", Firefly.Trace.Raise _ ->
+  | "AlertWait", "AlertResume", Spec_trace.Raise _ ->
     let c = arg_obj bindings "c" in
     let members = Value.as_set (State.get st c) in
     let st = State.set st c (Value.Set (Tid.Set.remove self members)) in
@@ -108,9 +108,9 @@ let post_of ctx bindings (ev : Firefly.Trace.event) =
     let target = arg_thread bindings "t" in
     State.set_alerts st (Tid.Set.add target (State.alerts st))
   | "TestAlert", _, _ -> alerts_del st
-  | "AlertP", _, Firefly.Trace.Ret ->
+  | "AlertP", _, Spec_trace.Ret ->
     set_obj "s" (Value.Sem Value.Unavailable) st
-  | "AlertP", _, Firefly.Trace.Raise _ -> alerts_del st
+  | "AlertP", _, Spec_trace.Raise _ -> alerts_del st
   | proc, action, _ ->
     failwith (Printf.sprintf "unknown event %s.%s" proc action)
 
@@ -127,7 +127,7 @@ let check iface trace =
   in
   let count = ref 0 in
   List.iteri
-    (fun index (ev : Firefly.Trace.event) ->
+    (fun index (ev : Spec_trace.event) ->
       incr count;
       let fail message = ctx.errors <- { index; event = ev; message } :: ctx.errors in
       match Proc.find_proc iface ev.proc with
@@ -189,8 +189,8 @@ let check iface trace =
           | post -> (
             let outcome =
               match ev.outcome with
-              | Firefly.Trace.Ret -> Proc.Returns
-              | Firefly.Trace.Raise e -> Proc.Raises e
+              | Spec_trace.Ret -> Proc.Returns
+              | Spec_trace.Raise e -> Proc.Raises e
             in
             let result = Option.map (fun b -> Value.Bool b) ev.result_bool in
             ctx.state <- post;
@@ -207,4 +207,3 @@ let check iface trace =
     requires_violations = List.rev ctx.requires_violations;
   }
 
-let check_machine iface machine = check iface (Firefly.Machine.trace machine)

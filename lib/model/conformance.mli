@@ -1,7 +1,7 @@
 (** Trace conformance: does an implementation execution refine the formal
     specification?
 
-    The checker replays a {!Firefly.Trace} event sequence, maintaining the
+    The checker replays a {!Spec_trace} event sequence, maintaining the
     specification-level abstract state itself (no ghost state in the
     implementation): each event determines the abstract post state — e.g.
     an Acquire event sets the mutex to the emitting thread, a Signal event
@@ -22,7 +22,7 @@
 
 type error = {
   index : int;  (** position in the trace *)
-  event : Firefly.Trace.event;
+  event : Spec_trace.event;
   message : string;
 }
 
@@ -35,8 +35,8 @@ type report = {
 val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit
 
-(** [check iface trace] replays [trace] against [iface]. *)
-val check : Spec_core.Proc.interface -> Firefly.Trace.event list -> report
-
-(** [check_machine iface machine] is [check iface (Machine.trace machine)]. *)
-val check_machine : Spec_core.Proc.interface -> Firefly.Machine.t -> report
+(** [check iface trace] replays [trace] against [iface].  The trace comes
+    from any backend's {!Spec_trace.Sink} — this module deliberately knows
+    nothing about how an implementation executes, only what it claims its
+    atomic actions did. *)
+val check : Spec_core.Proc.interface -> Spec_trace.event list -> report

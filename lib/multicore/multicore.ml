@@ -1,5 +1,7 @@
 exception Alerted = Taos_threads.Sync_intf.Alerted
 
+module Events = Taos_threads.Events
+
 (* Polymorphic FIFO with arbitrary removal; touched only under the global
    spin-lock. *)
 module Dq = struct
@@ -48,19 +50,61 @@ let key = Domain.DLS.new_key new_thread
 let pending : (int, unit) Hashtbl.t = Hashtbl.create 16
 let cancels : (int, unit -> unit) Hashtbl.t = Hashtbl.create 16
 
+(* ---- linearization-point tracing ----
+
+   When a sink is installed every visible atomic action appends one
+   {!Spec_trace.event}, emitted while holding the nub spin-lock at the
+   very instant the action commits (the winning CAS, the bit clear, the
+   eventcount read or bump).  Holding the nub across commit + append means
+   the sink's order is a legal linearization of the run, so the trace can
+   be replayed against the specification by the same checker the
+   simulator uses.  Untraced runs keep the lock-free fast paths — the
+   [traced ()] test is one atomic load. *)
+let sink : Spec_trace.Sink.t option Atomic.t = Atomic.make None
+
+let set_trace_sink s = Atomic.set sink s
+let traced () = Atomic.get sink <> None
+
+let emit ev =
+  match Atomic.get sink with
+  | Some k -> Spec_trace.Sink.emit k ev
+  | None -> ()
+
+let emit_opt = function Some ev -> emit ev | None -> ()
+
+(* Trace identities for mutexes/conditions/semaphores. *)
+let obj_ids = Atomic.make 0
+let new_obj_id () = Atomic.fetch_and_add obj_ids 1
+
+let reset () =
+  Spin.acquire nub;
+  Hashtbl.reset pending;
+  Hashtbl.reset cancels;
+  Spin.release nub
+
 module Sync = struct
   type nonrec thread = thread
 
   type mutex = {
+    id : int;
     bit : bool Atomic.t;
     mq : thread Dq.t;
     waiters : int Atomic.t;  (* |mq|, written under the nub lock *)
   }
 
   type condition = {
+    cid : int;
     evc : int Atomic.t;
     interest : int Atomic.t;
     cq : thread Dq.t;
+    (* Traced runs only, under the nub lock: [window] holds threads
+       between their Enqueue event (the eventcount read) and parking or
+       noticing staleness — the wakeup-waiting window; [departing] holds
+       alerted waiters that are abstractly still condition members until
+       their AlertResume commits.  Signal/Broadcast must list both in
+       [removed] for the abstract condition to empty correctly. *)
+    window : (int, unit) Hashtbl.t;
+    departing : (int, unit) Hashtbl.t;
   }
 
   type semaphore = mutex  (* "the implementation of semaphores is identical" *)
@@ -68,24 +112,54 @@ module Sync = struct
   let self () = Domain.DLS.get key
 
   let mutex () =
-    { bit = Atomic.make false; mq = Dq.create (); waiters = Atomic.make 0 }
+    {
+      id = new_obj_id ();
+      bit = Atomic.make false;
+      mq = Dq.create ();
+      waiters = Atomic.make 0;
+    }
 
   let semaphore () = mutex ()
 
   let condition () =
-    { evc = Atomic.make 0; interest = Atomic.make 0; cq = Dq.create () }
+    {
+      cid = new_obj_id ();
+      evc = Atomic.make 0;
+      interest = Atomic.make 0;
+      cq = Dq.create ();
+      window = Hashtbl.create 8;
+      departing = Hashtbl.create 8;
+    }
 
   (* ---- mutex / semaphore core ---- *)
 
   let try_bit m = Atomic.compare_and_set m.bit false true
 
+  (* Traced acquisition point: take the nub so the winning test-and-set
+     and its event append are one atomic step.  [ev] runs only on the
+     winning CAS of a traced run and may carry bookkeeping that must be
+     atomic with the event (departing/pending consumption). *)
+  let try_bit_ev m ~ev =
+    if not (traced ()) then try_bit m
+    else begin
+      Spin.acquire nub;
+      let ok = try_bit m in
+      if ok then emit_opt (ev ());
+      Spin.release nub;
+      ok
+    end
+
   (* The Nub subroutine for Acquire/P: enqueue, re-test, park or retry.
      [alertable] adds the pending check and cancellation registration.
-     Returns [`Alerted] only for alertable calls. *)
-  let rec slow_lock m ~alertable =
+     Returns [`Alerted] only for alertable calls; [on_alerted] is the
+     traced-run hook for that outcome — invoked under the nub hold that
+     decided it, it consumes the pending alert and returns the Raise
+     event. *)
+  let rec slow_lock m ~alertable ~ev ~on_alerted =
     let me = self () in
     Spin.acquire nub;
     if alertable && Hashtbl.mem pending me.tid then begin
+      if traced () then emit (on_alerted ());
       Spin.release nub;
       `Alerted
     end
@@ -109,27 +183,42 @@ module Sync = struct
             Hashtbl.remove cancels me.tid;
             let w = me.woken_by_alert in
             me.woken_by_alert <- false;
+            if w && traced () then emit (on_alerted ());
             Spin.release nub;
             w
           end
         in
         if alerted then `Alerted
-        else if try_bit m then `Acquired
-        else slow_lock m ~alertable
+        else if try_bit_ev m ~ev then `Acquired
+        else slow_lock m ~alertable ~ev ~on_alerted
       end
       else begin
         Dq.remove m.mq me;
         Atomic.decr m.waiters;
         Spin.release nub;
-        if try_bit m then `Acquired else slow_lock m ~alertable
+        if try_bit_ev m ~ev then `Acquired
+        else slow_lock m ~alertable ~ev ~on_alerted
       end
     end
 
-  let lock m ~alertable =
-    if try_bit m then `Acquired else slow_lock m ~alertable
+  let lock m ~alertable ~ev ~on_alerted =
+    if try_bit_ev m ~ev then `Acquired
+    else slow_lock m ~alertable ~ev ~on_alerted
 
-  let unlock m =
-    Atomic.set m.bit false;
+  let no_ev () = None
+  let no_alert () = assert false
+
+  (* [ev] is the Release/V event of a traced run; [None] for the internal
+     release inside Wait, whose abstract transition already happened at
+     the Enqueue event. *)
+  let unlock_ev m ~ev =
+    (if not (traced ()) then Atomic.set m.bit false
+     else begin
+       Spin.acquire nub;
+       Atomic.set m.bit false;
+       emit_opt (ev ());
+       Spin.release nub
+     end);
     if Atomic.get m.waiters <> 0 then begin
       Spin.acquire nub;
       (match Dq.pop m.mq with
@@ -141,24 +230,42 @@ module Sync = struct
       Spin.release nub
     end
 
-  let acquire m =
-    match lock m ~alertable:false with `Acquired -> () | `Alerted -> assert false
+  let unlock m = unlock_ev m ~ev:no_ev
 
-  let release = unlock
+  let acquire m =
+    let ev () = Some (Events.acquire ~self:(self ()).tid ~m:m.id) in
+    match lock m ~alertable:false ~ev ~on_alerted:no_alert with
+    | `Acquired -> ()
+    | `Alerted -> assert false
+
+  let release m =
+    unlock_ev m ~ev:(fun () -> Some (Events.release ~self:(self ()).tid ~m:m.id))
 
   let with_lock m f =
     acquire m;
     Fun.protect ~finally:(fun () -> release m) f
 
-  let p = acquire
-  let v = unlock
+  let p s =
+    let ev () = Some (Events.p ~self:(self ()).tid ~s:s.id) in
+    match lock s ~alertable:false ~ev ~on_alerted:no_alert with
+    | `Acquired -> ()
+    | `Alerted -> assert false
+
+  let v s =
+    unlock_ev s ~ev:(fun () -> Some (Events.v ~self:(self ()).tid ~s:s.id))
 
   let alert_p s =
-    match lock s ~alertable:true with
+    let me = self () in
+    let ev () = Some (Events.alert_p ~self:me.tid ~s:s.id ~alerted:false) in
+    let on_alerted () =
+      Hashtbl.remove pending me.tid;
+      Events.alert_p ~self:me.tid ~s:s.id ~alerted:true
+    in
+    match lock s ~alertable:true ~ev ~on_alerted with
     | `Acquired -> ()
     | `Alerted ->
       Spin.acquire nub;
-      Hashtbl.remove pending (self ()).tid;
+      Hashtbl.remove pending me.tid;
       Spin.release nub;
       raise Alerted
 
@@ -169,18 +276,26 @@ module Sync = struct
     let me = self () in
     Spin.acquire nub;
     if Atomic.get c.evc <> i then begin
+      (* A wake beat us here; its Signal/Broadcast event already listed us
+         (it swept the window), so we are no longer an abstract member. *)
       Spin.release nub;
       `Stale
     end
     else if alertable && Hashtbl.mem pending me.tid then begin
+      if traced () then begin
+        Hashtbl.remove c.window me.tid;
+        Hashtbl.replace c.departing me.tid ()
+      end;
       Spin.release nub;
       `Alerted_now
     end
     else begin
+      if traced () then Hashtbl.remove c.window me.tid;
       Dq.push c.cq me;
       if alertable then
         Hashtbl.replace cancels me.tid (fun () ->
             Dq.remove c.cq me;
+            if traced () then Hashtbl.replace c.departing me.tid ();
             me.woken_by_alert <- true;
             Parker.unpark me.parker);
       Spin.release nub;
@@ -191,7 +306,23 @@ module Sync = struct
   let wait_generic c m ~alertable =
     let me = self () in
     ignore (Atomic.fetch_and_add c.interest 1);
-    let i = Atomic.get c.evc in
+    let i =
+      if not (traced ()) then Atomic.get c.evc
+      else begin
+        (* The Enqueue event linearizes at the eventcount read, while the
+           mutex bit is still ours: abstractly it both joins the condition
+           and frees the mutex, so the bit clear below emits nothing. *)
+        Spin.acquire nub;
+        let i = Atomic.get c.evc in
+        Hashtbl.replace c.window me.tid ();
+        emit
+          (Events.enqueue
+             ~proc:(if alertable then "AlertWait" else "Wait")
+             ~self:me.tid ~m:m.id ~c:c.cid);
+        Spin.release nub;
+        i
+      end
+    in
     unlock m;
     let wake = block c i ~alertable in
     let raise_it =
@@ -207,7 +338,17 @@ module Sync = struct
         Spin.release nub;
         w
     in
-    acquire m;
+    let ev () =
+      if alertable then begin
+        Hashtbl.remove c.departing me.tid;
+        if raise_it then Hashtbl.remove pending me.tid;
+        Some (Events.alert_resume ~self:me.tid ~m:m.id ~c:c.cid ~alerted:raise_it)
+      end
+      else Some (Events.resume ~self:me.tid ~m:m.id ~c:c.cid)
+    in
+    (match lock m ~alertable:false ~ev ~on_alerted:no_alert with
+    | `Acquired -> ()
+    | `Alerted -> assert false);
     ignore (Atomic.fetch_and_add c.interest (-1));
     if raise_it then begin
       Spin.acquire nub;
@@ -220,13 +361,45 @@ module Sync = struct
   let alert_wait m c = wait_generic c m ~alertable:true
 
   let wake_some c ~take_all =
-    if Atomic.get c.interest <> 0 then begin
+    if not (traced ()) then begin
+      if Atomic.get c.interest <> 0 then begin
+        Spin.acquire nub;
+        ignore (Atomic.fetch_and_add c.evc 1);
+        let woken =
+          if take_all then Dq.pop_all c.cq
+          else match Dq.pop c.cq with Some t -> [ t ] | None -> []
+        in
+        List.iter
+          (fun t ->
+            Hashtbl.remove cancels t.tid;
+            Parker.unpark t.parker)
+          woken;
+        Spin.release nub
+      end
+    end
+    else begin
+      (* Traced runs always bump the eventcount and always emit, even with
+         nobody interested (Signal on an empty condition is a conforming
+         no-op).  [removed] must cover every abstract member the wake
+         dislodges: the queue pops, the whole wakeup-waiting window (those
+         threads will find the count stale and return), and departing
+         alerted waiters (already leaving; removing them twice is a spec
+         no-op since removal of a non-member changes nothing). *)
+      let me = self () in
       Spin.acquire nub;
       ignore (Atomic.fetch_and_add c.evc 1);
       let woken =
         if take_all then Dq.pop_all c.cq
         else match Dq.pop c.cq with Some t -> [ t ] | None -> []
       in
+      let swept tbl = Hashtbl.fold (fun tid () acc -> tid :: acc) tbl [] in
+      let removed =
+        List.map (fun t -> t.tid) woken @ swept c.window @ swept c.departing
+      in
+      Hashtbl.reset c.window;
+      emit
+        (if take_all then Events.broadcast ~self:me.tid ~c:c.cid ~removed
+         else Events.signal ~self:me.tid ~c:c.cid ~removed);
       List.iter
         (fun t ->
           Hashtbl.remove cancels t.tid;
@@ -243,6 +416,8 @@ module Sync = struct
   let alert (t : thread) =
     Spin.acquire nub;
     Hashtbl.replace pending t.tid ();
+    if traced () then
+      emit (Events.alert ~self:(self ()).tid ~target:t.tid);
     (match Hashtbl.find_opt cancels t.tid with
     | Some cancel ->
       Hashtbl.remove cancels t.tid;
@@ -255,6 +430,7 @@ module Sync = struct
     Spin.acquire nub;
     let was = Hashtbl.mem pending me.tid in
     Hashtbl.remove pending me.tid;
+    if traced () then emit (Events.test_alert ~self:me.tid ~result:was);
     Spin.release nub;
     was
 
@@ -279,3 +455,11 @@ module Sync = struct
 end
 
 let run body = body ()
+
+let traced_run body =
+  let s = Spec_trace.Sink.create () in
+  reset ();
+  set_trace_sink (Some s);
+  Fun.protect ~finally:(fun () -> set_trace_sink None) (fun () ->
+      let result = body () in
+      (result, Spec_trace.Sink.events s))

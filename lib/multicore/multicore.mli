@@ -13,9 +13,13 @@
 
     This backend implements {!Taos_threads.Sync_intf.SYNC}, so every
     example and workload in the repository also runs with true parallelism.
-    It emits no trace events (real concurrency offers no atomic
-    log-with-action); its conformance evidence is the simulator running the
-    same algorithm, plus the linearizability-flavoured stress tests.
+
+    With a trace sink installed (see {!traced_run}) every visible atomic
+    action additionally appends one {!Spec_trace} event, emitted under the
+    nub spin-lock at the instant the action commits — so the sink's order
+    is a legal linearization of the run and the trace replays against the
+    formal specification with the same checker the simulator uses.
+    Untraced runs keep the lock-free fast paths untouched.
 
     [fork] spawns a domain; keep thread counts near the core count. *)
 
@@ -31,3 +35,18 @@ module Sync : Taos_threads.Sync_intf.SYNC with type thread = thread
 (** [run body] — run [body] on the main thread with the package
     initialized; joins nothing implicitly. *)
 val run : (unit -> 'a) -> 'a
+
+(** [traced_run body] — clear residual alert state, install a fresh sink,
+    run [body], uninstall the sink (even on exception) and return the
+    result with the linearized event trace.  The sink is package-global:
+    do not run two traced bodies concurrently. *)
+val traced_run : (unit -> 'a) -> 'a * Spec_trace.event list
+
+(** Install or remove the trace sink by hand ({!traced_run} is the usual
+    entry point).  Takes effect for actions that commit after the store. *)
+val set_trace_sink : Spec_trace.Sink.t option -> unit
+
+(** Clear leftover pending alerts and cancellations from a previous run
+    (thread ids are never reused, so this is hygiene, not correctness —
+    except for the main thread, whose id persists across runs). *)
+val reset : unit -> unit

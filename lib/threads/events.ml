@@ -1,4 +1,4 @@
-open Firefly.Trace
+open Spec_trace
 
 let acquire ~self ~m = make ~proc:"Acquire" ~self ~args:[ ("m", Obj m) ] ()
 let release ~self ~m = make ~proc:"Release" ~self ~args:[ ("m", Obj m) ] ()

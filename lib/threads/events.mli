@@ -1,29 +1,30 @@
 (** Trace-event constructors for the Threads package's atomic actions.
 
-    Kept in one place so the sim and uniprocessor backends emit identical
-    events and the conformance checker sees one vocabulary. *)
+    Kept in one place so every backend — sim, uniprocessor, multicore and
+    the baselines — emits identical events and the conformance checker sees
+    one vocabulary. *)
 
 open Threads_util
 
-val acquire : self:Tid.t -> m:int -> Firefly.Trace.event
-val release : self:Tid.t -> m:int -> Firefly.Trace.event
+val acquire : self:Tid.t -> m:int -> Spec_trace.event
+val release : self:Tid.t -> m:int -> Spec_trace.event
 
 (** Wait's and AlertWait's first atomic action share shape; [proc]
     distinguishes them. *)
-val enqueue : proc:string -> self:Tid.t -> m:int -> c:int -> Firefly.Trace.event
+val enqueue : proc:string -> self:Tid.t -> m:int -> c:int -> Spec_trace.event
 
-val resume : self:Tid.t -> m:int -> c:int -> Firefly.Trace.event
+val resume : self:Tid.t -> m:int -> c:int -> Spec_trace.event
 
 val alert_resume :
-  self:Tid.t -> m:int -> c:int -> alerted:bool -> Firefly.Trace.event
+  self:Tid.t -> m:int -> c:int -> alerted:bool -> Spec_trace.event
 
-val signal : self:Tid.t -> c:int -> removed:Tid.t list -> Firefly.Trace.event
+val signal : self:Tid.t -> c:int -> removed:Tid.t list -> Spec_trace.event
 
 val broadcast :
-  self:Tid.t -> c:int -> removed:Tid.t list -> Firefly.Trace.event
+  self:Tid.t -> c:int -> removed:Tid.t list -> Spec_trace.event
 
-val p : self:Tid.t -> s:int -> Firefly.Trace.event
-val v : self:Tid.t -> s:int -> Firefly.Trace.event
-val alert : self:Tid.t -> target:Tid.t -> Firefly.Trace.event
-val test_alert : self:Tid.t -> result:bool -> Firefly.Trace.event
-val alert_p : self:Tid.t -> s:int -> alerted:bool -> Firefly.Trace.event
+val p : self:Tid.t -> s:int -> Spec_trace.event
+val v : self:Tid.t -> s:int -> Spec_trace.event
+val alert : self:Tid.t -> target:Tid.t -> Spec_trace.event
+val test_alert : self:Tid.t -> result:bool -> Spec_trace.event
+val alert_p : self:Tid.t -> s:int -> alerted:bool -> Spec_trace.event

@@ -7,12 +7,22 @@ type monitor = {
   entry : Tqueue.t;
   urgent : Tqueue.t;  (* suspended signallers; priority over entry *)
   mutable switch_count : int;
-  scratch : int;
+  scratch : int;  (* deschedule word; doubles as the monitor's trace id *)
 }
 
-type cond = { mon : monitor; hq : Tqueue.t }
+type cond = { mon : monitor; hq : Tqueue.t; cid : int }
+
+(* Condition trace ids are negative so they can never collide with the
+   memory addresses that identify monitors (and any other traced object)
+   without spending a machine effect on allocation. *)
+let cond_ids = ref 0
 
 let atomically f = ignore (Ops.mem_emit M.M_none (fun _ -> f (); None))
+
+(* All events below are emitted with {!M.Probe.emit} from inside the
+   atomic thunks: they cost no cycles and add no scheduling points, so
+   step counts are identical to the un-instrumented version. *)
+let emit = M.Probe.emit
 
 let monitor () =
   {
@@ -23,7 +33,9 @@ let monitor () =
     scratch = Ops.alloc 1;
   }
 
-let condition mon = { mon; hq = Tqueue.create () }
+let condition mon =
+  decr cond_ids;
+  { mon; hq = Tqueue.create (); cid = !cond_ids }
 
 (* Ownership is transferred, never contended: a thread woken from the
    entry, urgent or condition queue already holds the monitor. *)
@@ -34,29 +46,38 @@ let enter mon =
       match mon.holder with
       | None ->
         mon.holder <- Some self;
+        emit (Events.acquire ~self ~m:mon.scratch);
         got := true
       | Some _ -> Tqueue.push mon.entry self);
   if not !got then Ops.deschedule_and_clear mon.scratch
 
 (* Pass the monitor to a suspended signaller first, then to an entering
-   thread, else free it.  Returns the thread to ready, if any. *)
+   thread, else free it.  Returns the thread to ready, if any.  The
+   recipient's Acquire commits in the same instruction as the donor's
+   Release/Enqueue — the donor's event has already set the abstract mutex
+   to NIL, so the handoff itself conforms. *)
 let pass_on mon =
+  let grant t =
+    mon.holder <- Some t;
+    emit (Events.acquire ~self:t ~m:mon.scratch);
+    Some t
+  in
   match Tqueue.pop mon.urgent with
-  | Some u ->
-    mon.holder <- Some u;
-    Some u
+  | Some u -> grant u
   | None -> (
     match Tqueue.pop mon.entry with
-    | Some e ->
-      mon.holder <- Some e;
-      Some e
+    | Some e -> grant e
     | None ->
       mon.holder <- None;
       None)
 
 let exit mon =
   let next = ref None in
-  atomically (fun () -> next := pass_on mon);
+  atomically (fun () ->
+      (match M.Probe.self () with
+      | Some self -> emit (Events.release ~self ~m:mon.scratch)
+      | None -> ());
+      next := pass_on mon);
   match !next with Some t -> Ops.ready t | None -> ()
 
 let with_monitor mon f =
@@ -68,12 +89,18 @@ let wait c =
   let next = ref None in
   atomically (fun () ->
       Tqueue.push c.hq self;
+      emit (Events.enqueue ~proc:"Wait" ~self ~m:c.mon.scratch ~c:c.cid);
       next := pass_on c.mon);
   (match !next with Some t -> Ops.ready t | None -> ());
   Ops.deschedule_and_clear c.mon.scratch
 (* On return the signaller has handed us the monitor: predicate intact. *)
 
-let signal c =
+(* The deliberate non-conformance lives here.  Hoare signal hands the
+   monitor straight to the waiter: the waiter's Resume commits while the
+   abstract mutex still belongs to the signaller, so its [WHEN (m = NIL)]
+   fails — the checker reports exactly one violation per effective
+   signal.  (The Signal event itself conforms: it removes one waiter.) *)
+let do_signal c =
   let self = Ops.self () in
   let woke = ref None in
   atomically (fun () ->
@@ -83,13 +110,26 @@ let signal c =
         c.mon.holder <- Some w;
         Tqueue.push c.mon.urgent self;
         c.mon.switch_count <- c.mon.switch_count + 2;
+        emit (Events.signal ~self ~c:c.cid ~removed:[ w ]);
+        emit (Events.resume ~self:w ~m:c.mon.scratch ~c:c.cid);
         woke := Some w
-      | None -> ());
+      | None -> emit (Events.signal ~self ~c:c.cid ~removed:[]));
   match !woke with
   | Some w ->
     Ops.incr_counter "hoare.switches";
     Ops.ready w;
-    Ops.deschedule_and_clear c.mon.scratch
-  | None -> ()
+    Ops.deschedule_and_clear c.mon.scratch;
+    true
+  | None -> false
+
+let signal c = ignore (do_signal c)
+
+(* Hoare (1974) has no broadcast; the classical encoding is to signal
+   until the queue drains.  Each round forces the usual pair of context
+   switches, which is precisely the cost E8 charges this semantics. *)
+let broadcast c =
+  while do_signal c do
+    ()
+  done
 
 let switches mon = mon.switch_count

@@ -11,10 +11,14 @@
     workload.
 
     Implemented in the cooperative style (single-instruction atomic
-    actions); no spec events are emitted — Hoare signal mutates the mutex
-    holder, which the Threads specification's [MODIFIES AT MOST \[c\]] for
-    Signal forbids, so this baseline is {e deliberately} not a conforming
-    implementation of the interface (a fact exercised in tests). *)
+    actions).  Every visible action emits a {!Spec_trace} event via
+    {!Firefly.Machine.Probe.emit} — zero cycles, zero extra scheduling
+    points — so runs can be replayed against the Threads specification.
+    The monitor handoff makes this a {e deliberately} non-conforming
+    implementation of that interface: the waiter's [Resume] commits while
+    the abstract mutex still belongs to the signaller, violating Resume's
+    [WHEN (m = NIL)] exactly once per effective signal ([repro diff]
+    surfaces this; tests pin it). *)
 
 type monitor
 type cond
@@ -34,6 +38,11 @@ val wait : cond -> unit
     caller on the urgent queue (two forced context switches); otherwise a
     no-op. *)
 val signal : cond -> unit
+
+(** [broadcast c] — Hoare 1974 has no broadcast; this is the classical
+    encoding, signalling until the queue drains.  Each waiter costs the
+    full monitor-handoff round trip. *)
+val broadcast : cond -> unit
 
 (** Context switches forced by signalling (machine counter
     ["hoare.switches"] also tracks them). *)

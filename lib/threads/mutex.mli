@@ -42,8 +42,8 @@ val with_lock : t -> (unit -> 'a) -> 'a
 
 (** [lock_internal m ~event] — acquire, emitting [event ()] (if any)
     atomically with the winning test-and-set. *)
-val lock_internal : t -> event:(unit -> Firefly.Trace.event option) -> unit
+val lock_internal : t -> event:(unit -> Spec_trace.event option) -> unit
 
 (** [unlock_internal m ~event] — release, emitting [event ()] atomically
     with the bit clear. *)
-val unlock_internal : t -> event:(unit -> Firefly.Trace.event option) -> unit
+val unlock_internal : t -> event:(unit -> Spec_trace.event option) -> unit

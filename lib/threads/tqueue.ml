@@ -1,29 +1,40 @@
 module Tid = Threads_util.Tid
 
-(* Head-first list; push is O(n) but queues are short (blocked threads). *)
-type t = { mutable items : Tid.t list }
+(* Two-list ("banker's") queue: [front] holds the head in order, [rear]
+   holds the tail reversed.  Push and pop are O(1) amortized; the old
+   head-first list made every push O(n). *)
+type t = { mutable front : Tid.t list; mutable rear : Tid.t list }
 
-let create () = { items = [] }
-let is_empty q = q.items = []
-let length q = List.length q.items
-let push q t = q.items <- q.items @ [ t ]
+let create () = { front = []; rear = [] }
+let is_empty q = q.front = [] && q.rear = []
+let length q = List.length q.front + List.length q.rear
+let push q t = q.rear <- t :: q.rear
 
 let pop q =
-  match q.items with
+  (match q.front with
+  | [] -> q.front <- List.rev q.rear; q.rear <- []
+  | _ :: _ -> ());
+  match q.front with
   | [] -> None
   | x :: rest ->
-    q.items <- rest;
+    q.front <- rest;
     Some x
 
+let elements q = q.front @ List.rev q.rear
+
 let pop_all q =
-  let all = q.items in
-  q.items <- [];
+  let all = elements q in
+  q.front <- [];
+  q.rear <- [];
   all
 
 let remove q t =
-  let present = List.mem t q.items in
-  if present then q.items <- List.filter (fun x -> not (Tid.equal x t)) q.items;
+  let present = List.mem t q.front || List.mem t q.rear in
+  if present then begin
+    let drop = List.filter (fun x -> not (Tid.equal x t)) in
+    q.front <- drop q.front;
+    q.rear <- drop q.rear
+  end;
   present
 
-let mem q t = List.mem t q.items
-let elements q = q.items
+let mem q t = List.mem t q.front || List.mem t q.rear

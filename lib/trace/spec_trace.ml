@@ -46,3 +46,21 @@ let pp_event ppf e =
     Format.fprintf ppf " removed=%a" Tid.Set.pp (Tid.Set.of_list e.removed)
 
 let event_to_string e = Format.asprintf "%a" pp_event e
+
+module Sink = struct
+  (* A lock-free cons onto an atomic list: emitters on real parallel
+     backends append while holding their own linearizing lock, so the CAS
+     loop here only ever retries under cross-object contention. *)
+  type t = event list Atomic.t
+
+  let create () = Atomic.make []
+
+  let rec emit t ev =
+    let old = Atomic.get t in
+    if not (Atomic.compare_and_set t old (ev :: old)) then emit t ev
+
+  let events t = List.rev (Atomic.get t)
+  let length t = List.length (Atomic.get t)
+
+  let clear t = Atomic.set t []
+end

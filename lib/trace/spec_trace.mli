@@ -1,10 +1,15 @@
-(** Execution traces of specification-level atomic actions.
+(** Backend-neutral execution traces of specification-level atomic actions.
 
-    The Threads implementation emits one event at each linearization point
-    (the instant its visible atomic action takes effect, e.g. the
-    successful test-and-set inside Acquire).  The conformance checker in
-    [threads_model] replays the event sequence against the formal
-    specification.
+    Every Threads backend — the Firefly simulator, the cooperative
+    uniprocessor version, the Hoare/Naive baselines and the real-parallelism
+    OCaml 5 implementation — emits one event at each linearization point
+    (the instant its visible atomic action takes effect, e.g. the successful
+    test-and-set inside Acquire).  The conformance checker in
+    [threads_model] replays an event sequence against the formal
+    specification; because the vocabulary lives here, below every backend,
+    one spec checks all implementations — the paper's claim that the
+    specification "describes all implementations of the interface"
+    mechanized.
 
     Events are deliberately implementation-flavoured: they carry only what
     the implementation knows at the linearization instant.  In particular
@@ -44,3 +49,20 @@ val make :
 
 val pp_event : Format.formatter -> event -> unit
 val event_to_string : event -> string
+
+(** An append-only event collector.  The simulator owns one per machine;
+    the multicore backend appends from many domains at once (each append
+    happens under the emitting object's linearizing lock, so the recorded
+    order is a valid linearization). *)
+module Sink : sig
+  type t
+
+  val create : unit -> t
+  val emit : t -> event -> unit
+
+  (** Events in emission order. *)
+  val events : t -> event list
+
+  val length : t -> int
+  val clear : t -> unit
+end

@@ -9,14 +9,25 @@ type summary = {
   p99 : float;
 }
 
+(* One pass for (count, sum); the fold order matches the obvious
+   [List.fold_left ( +. )] so results are bit-identical to it. *)
+let count_sum samples =
+  List.fold_left (fun (n, s) x -> (n + 1, s +. x)) (0, 0.0) samples
+
 let mean samples =
   assert (samples <> []);
-  List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+  let n, sum = count_sum samples in
+  sum /. float_of_int n
 
-let stddev samples =
-  let m = mean samples in
-  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
-  sqrt (sq /. float_of_int (List.length samples))
+let stddev_around m samples =
+  let n, sq =
+    List.fold_left
+      (fun (n, acc) x -> (n + 1, acc +. ((x -. m) ** 2.0)))
+      (0, 0.0) samples
+  in
+  sqrt (sq /. float_of_int n)
+
+let stddev samples = stddev_around (mean samples) samples
 
 let percentile p sorted =
   let n = Array.length sorted in
@@ -33,11 +44,12 @@ let percentile p sorted =
 let summarize samples =
   assert (samples <> []);
   let sorted = Array.of_list samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
+  let m = mean samples in
   {
     n = Array.length sorted;
-    mean = mean samples;
-    stddev = stddev samples;
+    mean = m;
+    stddev = stddev_around m samples;
     min = sorted.(0);
     max = sorted.(Array.length sorted - 1);
     p50 = percentile 50.0 sorted;

@@ -50,8 +50,8 @@ let check_report ?(allow_deadlock = false) name (r : Firefly.Interleave.report) 
 
 let check_conformance name (r : Firefly.Interleave.report) =
   let rep =
-    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-      r.machine
+    Threads_model.Conformance.check Spec_core.Threads_interface.final
+      (Firefly.Machine.trace r.machine)
   in
   if not (Threads_model.Conformance.ok rep) then
     Alcotest.fail

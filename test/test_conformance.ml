@@ -1,7 +1,7 @@
 (* Direct tests of the trace-conformance checker on hand-crafted traces. *)
 
 open Spec_core
-module T = Firefly.Trace
+module T = Spec_trace
 module Conf = Threads_model.Conformance
 
 let ev ?action ?(outcome = T.Ret) ?result_bool ?(removed = []) proc self args =

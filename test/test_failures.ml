@@ -62,13 +62,13 @@ let test_wait_without_holding () =
   (* run may or may not complete (the rogue can stay blocked); what
      matters is attribution *)
   let rep =
-    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-      r.Firefly.Interleave.machine
+    Threads_model.Conformance.check Spec_core.Threads_interface.final
+      (Firefly.Machine.trace r.Firefly.Interleave.machine)
   in
   Alcotest.(check bool) "caller blamed" true
     (List.exists
        (fun (e : Threads_model.Conformance.error) ->
-         e.event.Firefly.Trace.proc = "Wait")
+         e.event.Spec_trace.proc = "Wait")
        rep.requires_violations)
 
 let test_double_release_harmless_at_impl_level () =
@@ -89,8 +89,8 @@ let test_double_release_harmless_at_impl_level () =
   | Firefly.Interleave.Completed -> ()
   | _ -> Alcotest.fail "machine wedged");
   let rep =
-    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-      r.Firefly.Interleave.machine
+    Threads_model.Conformance.check Spec_core.Threads_interface.final
+      (Firefly.Machine.trace r.Firefly.Interleave.machine)
   in
   Alcotest.(check int) "two caller violations" 2
     (List.length rep.Threads_model.Conformance.requires_violations)
@@ -133,8 +133,8 @@ let test_exception_during_wait_predicate () =
   | _ -> Alcotest.fail "waiters poisoned by peer exception");
   Alcotest.(check bool) "conforms" true
     (Threads_model.Conformance.ok
-       (Threads_model.Conformance.check_machine
-          Spec_core.Threads_interface.final r.Firefly.Interleave.machine))
+       (Threads_model.Conformance.check
+          Spec_core.Threads_interface.final (Firefly.Machine.trace r.Firefly.Interleave.machine)))
 
 let suite =
   ( "failure-injection",

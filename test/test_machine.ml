@@ -174,7 +174,7 @@ let test_mem_emit_atomicity () =
                      (Ops.mem_emit (M.M_tas a) (fun old ->
                           if old = 0 then
                             Some
-                              (Firefly.Trace.make ~proc:"Win" ~self ~args:[]
+                              (Spec_trace.make ~proc:"Win" ~self ~args:[]
                                  ())
                           else None))
                  in
@@ -201,14 +201,14 @@ let test_determinism () =
                      ignore (Ops.faa a 1)
                    done;
                    Ops.emit
-                     (Firefly.Trace.make ~proc:"done" ~self:(Ops.self ())
+                     (Spec_trace.make ~proc:"done" ~self:(Ops.self ())
                         ~args:[] ())
                  in
                  let ts = List.init 3 (fun _ -> Ops.spawn worker) in
                  List.iter Ops.join ts)))
     in
     List.map
-      (fun (e : Firefly.Trace.event) -> e.self)
+      (fun (e : Spec_trace.event) -> e.self)
       (M.trace r.Firefly.Interleave.machine)
   in
   Alcotest.(check (list int)) "same seed, same trace" (run 9) (run 9);

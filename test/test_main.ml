@@ -38,4 +38,5 @@ let () =
       Test_harness.suite;
       Test_failures.suite;
       Test_multicore.suite;
+      Test_cross_backend.suite;
     ]

@@ -6,8 +6,8 @@ module Ops = Firefly.Machine.Ops
 
 let conforms machine =
   Threads_model.Conformance.ok
-    (Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-       machine)
+    (Threads_model.Conformance.check Spec_core.Threads_interface.final
+       (Firefly.Machine.trace machine))
 
 (* The window race: sweep seeds until a Signal removes >1 thread, and check
    every such run still conforms.  (Paper: "possible though unlikely".) *)
@@ -42,7 +42,7 @@ let test_multi_unblock_exists_and_conforms () =
     let machine = report.Firefly.Interleave.machine in
     let multi =
       List.exists
-        (fun (e : Firefly.Trace.event) ->
+        (fun (e : Spec_trace.event) ->
           e.proc = "Signal" && List.length e.removed > 1)
         (Firefly.Machine.trace machine)
     in

@@ -106,8 +106,8 @@ let run_workload runner (nworkers, progs, seed) =
   | (tid, e) :: _ ->
     failwith (Printf.sprintf "t%d: %s" tid (Printexc.to_string e)));
   let rep =
-    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-      report.Firefly.Interleave.machine
+    Threads_model.Conformance.check Spec_core.Threads_interface.final
+      (Firefly.Machine.trace report.Firefly.Interleave.machine)
   in
   if not (Threads_model.Conformance.ok rep) then
     failwith
@@ -193,8 +193,8 @@ let prop_pc_sim =
       | Firefly.Interleave.Completed -> ()
       | _ -> failwith "did not complete");
       Threads_model.Conformance.ok
-        (Threads_model.Conformance.check_machine
-           Spec_core.Threads_interface.final report.Firefly.Interleave.machine))
+        (Threads_model.Conformance.check
+           Spec_core.Threads_interface.final (Firefly.Machine.trace report.Firefly.Interleave.machine)))
 
 let suite =
   let q = QCheck_alcotest.to_alcotest in

@@ -150,8 +150,8 @@ let test_timed_threads_package () =
   | Firefly.Timed.Completed -> ()
   | _ -> Alcotest.fail "timed package run incomplete");
   let rep =
-    Threads_model.Conformance.check_machine Spec_core.Threads_interface.final
-      report.Firefly.Timed.machine
+    Threads_model.Conformance.check Spec_core.Threads_interface.final
+      (Firefly.Machine.trace report.Firefly.Timed.machine)
   in
   Alcotest.(check bool) "conforms under timed driver" true
     (Threads_model.Conformance.ok rep)
