@@ -169,6 +169,41 @@ let e2_timed_sim =
                 let ts = List.init 4 (fun _ -> Sy.fork worker) in
                 List.iter Sy.join ts))))
 
+(* Analyzer overhead: the same contended workload (4 threads x 25 guarded
+   increments) through the sim backend with recording off, with recording
+   on, and the pure analysis pass over an already-recorded run.  Recording
+   is host-side bookkeeping, so the on/off gap is the whole cost of
+   capture; the analyzers run post-mortem and never touch the run. *)
+let analysis_backend, analysis_instrument =
+  let b = Option.get (Threads_backend.Backend.find "sim") in
+  match b.Threads_backend.Backend.instrument with
+  | Threads_backend.Backend.Machine_access f -> (b, f)
+  | _ -> assert false
+
+let analysis_workload =
+  Option.get (Threads_backend.Workload.find "mutex")
+
+let analysis_plain =
+  Test.make ~name:"analysis/sim mutex, recording off"
+    (Staged.stage (fun () ->
+         ignore
+           (analysis_backend.Threads_backend.Backend.run ~seed:7
+              analysis_workload)))
+
+let analysis_recorded =
+  Test.make ~name:"analysis/sim mutex, recording on"
+    (Staged.stage (fun () ->
+         ignore (analysis_instrument ~seed:7 analysis_workload)))
+
+let analysis_pass =
+  let _, machine = analysis_instrument ~seed:7 analysis_workload in
+  Test.make
+    ~name:
+      (Printf.sprintf "analysis/analyze %d-access stream"
+         (Firefly.Machine.access_count machine))
+    (Staged.stage (fun () ->
+         ignore (Threads_analysis.Analysis.of_machine machine)))
+
 let benchmark tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -194,6 +229,9 @@ let () =
         e9_conformance;
         spec_parse;
         spec_print;
+        analysis_plain;
+        analysis_recorded;
+        analysis_pass;
       ]
   in
   let results = benchmark tests in

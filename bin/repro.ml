@@ -433,6 +433,243 @@ let diff_cmd =
           predict (non-zero exit if a conforming backend diverges)")
     Term.(const run $ workload $ seeds)
 
+(* ---- dynamic race / lock-order analysis and the spec linter ---- *)
+
+module An = Threads_analysis.Analysis
+module Mu = Threads_analysis.Mutants
+module Lint = Threads_analysis.Lint
+
+let report_summary_row name (r : An.report) shown =
+  [
+    name;
+    Threads_util.Table.cell_int r.An.n_accesses;
+    Threads_util.Table.cell_int r.An.n_data_words;
+    Threads_util.Table.cell_int r.An.n_exempt_words;
+    Threads_util.Table.cell_int (List.length r.An.lockset);
+    Threads_util.Table.cell_int (List.length r.An.hb);
+    (match r.An.lock_order with
+    | None -> "-"
+    | Some lo -> Threads_util.Table.cell_int (List.length lo.Threads_analysis.Lockorder.cycles));
+    shown;
+  ]
+
+type analyzer_filter = All | Races_only | Lock_order_only
+
+let filtered_findings filter (r : An.report) =
+  let races =
+    List.map (Format.asprintf "%a" Threads_analysis.Lockset.pp_race) r.An.lockset
+    @ List.map (Format.asprintf "%a" Threads_analysis.Hb.pp_race) r.An.hb
+  in
+  let cycles =
+    List.map
+      (Format.asprintf "%a"
+         (Threads_analysis.Lockorder.pp_cycle ~lock_name:r.An.lock_name))
+      (An.cycles r)
+  in
+  match filter with
+  | All -> races @ cycles
+  | Races_only -> races
+  | Lock_order_only -> cycles
+
+let analyze_mutants filter seed =
+  let t =
+    Threads_util.Table.create
+      ~aligns:[ Threads_util.Table.Left; Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Right;
+                Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Left ]
+      ~title:(Printf.sprintf "analyze: seeded mutants (seed %d)" seed)
+      [ "scenario"; "accesses"; "data"; "exempt"; "lockset"; "hb";
+        "cycles"; "expected" ]
+  in
+  let failures = ref [] in
+  let details = ref [] in
+  List.iter
+    (fun (s : Mu.scenario) ->
+      let r = An.of_machine (s.Mu.m_run ~seed) in
+      let expected, caught =
+        match s.Mu.m_expect with
+        | Mu.Hb -> ("hb race", r.An.hb <> [] && r.An.lockset = [])
+        | Mu.Lockset -> ("lockset race", r.An.lockset <> [])
+        | Mu.Lock_order -> ("lock-order cycle", An.cycles r <> [])
+        | Mu.Clean -> ("no findings", An.clean r)
+      in
+      if not caught then
+        failures :=
+          Printf.sprintf "%s: expected %s, got %d lockset / %d hb / %d cycles"
+            s.Mu.m_name expected (List.length r.An.lockset)
+            (List.length r.An.hb)
+            (List.length (An.cycles r))
+          :: !failures;
+      details :=
+        List.map (Printf.sprintf "  [%s] %s" s.Mu.m_name)
+          (filtered_findings filter r)
+        :: !details;
+      Threads_util.Table.add_row t
+        (report_summary_row s.Mu.m_name r
+           (Printf.sprintf "%s %s" expected (if caught then "(caught)" else "(MISSED)"))))
+    Mu.all;
+  Threads_util.Table.print t;
+  List.iter (List.iter print_endline) (List.rev !details);
+  match List.rev !failures with
+  | [] -> print_endline "all mutants caught by their intended detector"
+  | fs ->
+    List.iter (fun f -> Printf.printf "FAIL: %s\n" f) fs;
+    exit 1
+
+let analyze_backend filter backend workload seed =
+  let b =
+    match Bk.find backend with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "unknown backend %s; available: %s\n" backend
+        (String.concat ", " (Bk.names ()));
+      exit 1
+  in
+  let t =
+    Threads_util.Table.create
+      ~aligns:[ Threads_util.Table.Left; Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Right;
+                Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Left ]
+      ~title:
+        (Printf.sprintf "analyze: backend %s (seed %d)%s" backend seed
+           (if b.Bk.conforming then "" else " [non-conforming baseline]"))
+      [ "workload"; "accesses"; "data"; "exempt"; "lockset"; "hb";
+        "cycles"; "verdict" ]
+  in
+  let findings = ref [] in
+  List.iter
+    (fun (wl : Wl.t) ->
+      if Bk.supports b wl then begin
+        let res = An.run_backend b ~seed wl in
+        match res.An.br_report with
+        | None ->
+          Threads_util.Table.add_row t
+            [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "uninstrumented" ]
+        | Some r ->
+          findings :=
+            List.map (Printf.sprintf "  [%s] %s" wl.Wl.name)
+              (filtered_findings filter r)
+            :: !findings;
+          Threads_util.Table.add_row t
+            (report_summary_row wl.Wl.name r
+               (Format.asprintf "%a" Bk.pp_verdict res.An.br_outcome.Bk.verdict))
+      end
+      else
+        Threads_util.Table.add_row t
+          [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "skipped" ])
+    (resolve_workloads workload);
+  Threads_util.Table.print t;
+  let findings = List.concat (List.rev !findings) in
+  List.iter print_endline findings;
+  if findings = [] then print_endline "no findings"
+  else if b.Bk.conforming then begin
+    Printf.printf "FAIL: conforming backend %s has findings\n" b.Bk.name;
+    exit 1
+  end
+  else
+    print_endline
+      "(findings on a non-conforming baseline are expected divergence)"
+
+let analyze_cmd =
+  let backend =
+    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"B"
+           ~doc:"Backend to analyze (sim, uniproc, naive, hoare, multicore)")
+  in
+  let workload =
+    Arg.(value & opt string "all" & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload name, or $(b,all)")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let mutants =
+    Arg.(value & flag & info [ "mutants" ]
+           ~doc:
+             "Analyze the seeded fault-injection scenarios instead of a \
+              backend; non-zero exit unless every mutant is caught by its \
+              intended detector and the clean control stays silent")
+  in
+  let races =
+    Arg.(value & flag & info [ "races" ]
+           ~doc:"Report race findings only (lockset + happens-before)")
+  in
+  let lock_order =
+    Arg.(value & flag & info [ "lock-order" ]
+           ~doc:"Report lock-order cycles only")
+  in
+  let run backend workload seed mutants races lock_order =
+    setup ();
+    let filter =
+      match (races, lock_order) with
+      | true, false -> Races_only
+      | false, true -> Lock_order_only
+      | _ -> All
+    in
+    if mutants then analyze_mutants filter seed
+    else analyze_backend filter backend workload seed
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Record a workload's shared-memory access stream on one backend \
+          and run the dynamic analyzers over it: Eraser-style lockset and \
+          vector-clock happens-before race detection plus lock-order \
+          (deadlock-potential) cycle detection.  Non-zero exit if a \
+          conforming backend yields findings.  With $(b,--mutants), \
+          validate the analyzers against seeded bugs instead")
+    Term.(const run $ backend $ workload $ seed $ mutants $ races $ lock_order)
+
+let lint_spec_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:
+             "Specification file in the concrete syntax; defaults to the \
+              built-in Threads interface (specs/threads.lspec)")
+  in
+  let run file =
+    let name, src =
+      match file with
+      | None -> ("threads (builtin)", Spec_core.Threads_interface.source)
+      | Some f -> (
+        ( f,
+          try
+            let ic = open_in f in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error e ->
+            Printf.eprintf "cannot read %s: %s\n" f e;
+            exit 1 ))
+    in
+    let iface =
+      try Spec_core.Parser.interface_of_string src with
+      | Spec_core.Parser.Parse_error (msg, line) ->
+        Printf.eprintf "%s: parse error at line %d: %s\n" name line msg;
+        exit 1
+      | Spec_core.Lexer.Lex_error (msg, line) ->
+        Printf.eprintf "%s: lexical error at line %d: %s\n" name line msg;
+        exit 1
+    in
+    let findings = Lint.lint iface in
+    List.iter
+      (fun f -> Format.printf "%s: %a@." name Lint.pp_finding f)
+      findings;
+    let errs = List.length (Lint.errors findings) in
+    Printf.printf
+      "%s: %d procedure(s), %d error(s), %d warning(s)\n" name
+      (List.length iface.Spec_core.Proc.i_procs)
+      errs
+      (List.length findings - errs);
+    if errs > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint-spec"
+       ~doc:
+         "Statically lint an interface specification: well-formedness \
+          (ENSURES names covered by MODIFIES AT MOST, declared types and \
+          exceptions, one-state WHEN/REQUIRES), never-satisfiable WHEN \
+          guards, unimplementable ENSURES clauses, and unconstrained \
+          MODIFIES names, via small-state enumeration of the clause \
+          semantics")
+    Term.(const run $ file)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -448,4 +685,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd;
-            conform_cmd; diff_cmd ]))
+            conform_cmd; diff_cmd; analyze_cmd; lint_spec_cmd ]))

@@ -1,0 +1,92 @@
+module M = Firefly.Machine
+module B = Threads_backend.Backend
+
+(* Facade: run every applicable analyzer over one recorded execution and
+   fold the results into a single report with deterministic, human-readable
+   findings. *)
+
+type report = {
+  n_accesses : int;
+  n_data_words : int;  (** distinct checked (data) words touched *)
+  n_exempt_words : int;  (** registered synchronization/atomic words *)
+  lockset : Lockset.race list;
+  hb : Hb.race list;
+  lock_order : Lockorder.report option;
+      (** [None] when the capture has no lock information at all *)
+  lock_name : int -> string;
+}
+
+let is_data_kind = function
+  | None | Some M.W_data -> true
+  | Some (M.W_lock | M.W_sem | M.W_eventcount | M.W_atomic) -> false
+
+let of_machine machine =
+  let accesses = M.accesses machine in
+  let word_kind = M.word_kind machine in
+  let word_name = M.word_name machine in
+  let data_words = Hashtbl.create 32 in
+  List.iter
+    (fun (a : M.access) ->
+      match a.a_kind with
+      | M.A_load | M.A_store | M.A_tas _ | M.A_clear | M.A_faa ->
+        if is_data_kind (word_kind a.a_addr) then
+          Hashtbl.replace data_words a.a_addr ()
+      | _ -> ())
+    accesses;
+  let n_exempt =
+    List.length
+      (List.filter
+         (fun (_, k, _) -> not (is_data_kind (Some k)))
+         (M.registered_words machine))
+  in
+  {
+    n_accesses = M.access_count machine;
+    n_data_words = Hashtbl.length data_words;
+    n_exempt_words = n_exempt;
+    lockset = Lockset.check ~word_kind ~word_name accesses;
+    hb = Hb.check ~word_kind ~word_name accesses;
+    lock_order = Some (Lockorder.of_accesses ~word_kind accesses);
+    lock_name = M.lock_name machine;
+  }
+
+(* Hardware captures carry only lock events: no data words, no race
+   checking — lock-order analysis only. *)
+let of_lock_events (events : B.lock_event list) =
+  let triples =
+    List.map (fun e -> (e.B.le_tid, e.B.le_lock, e.B.le_acquire)) events
+  in
+  {
+    n_accesses = List.length events;
+    n_data_words = 0;
+    n_exempt_words = 0;
+    lockset = [];
+    hb = [];
+    lock_order = Some (Lockorder.of_lock_events triples);
+    lock_name = (fun id -> Printf.sprintf "lock#%d" id);
+  }
+
+type backend_result = {
+  br_outcome : B.outcome;
+  br_report : report option;  (** [None] if the backend is uninstrumented *)
+}
+
+let run_backend (b : B.t) ~seed workload =
+  match b.B.instrument with
+  | B.Machine_access f ->
+    let outcome, machine = f ~seed workload in
+    { br_outcome = outcome; br_report = Some (of_machine machine) }
+  | B.Lock_trace f ->
+    let outcome, events = f ~seed workload in
+    { br_outcome = outcome; br_report = Some (of_lock_events events) }
+  | B.No_instrument ->
+    { br_outcome = b.B.run ~seed workload; br_report = None }
+
+let cycles r = match r.lock_order with None -> [] | Some lo -> lo.Lockorder.cycles
+let clean r = r.lockset = [] && r.hb = [] && cycles r = []
+
+let findings r =
+  List.map (Format.asprintf "%a" Lockset.pp_race) r.lockset
+  @ List.map (Format.asprintf "%a" Hb.pp_race) r.hb
+  @ List.map
+      (Format.asprintf "%a" (Lockorder.pp_cycle ~lock_name:r.lock_name))
+      (cycles r)

@@ -1,0 +1,42 @@
+(** Facade: every applicable analyzer over one recorded execution.
+
+    Simulator-hosted backends yield a full access stream, feeding
+    {!Lockset}, {!Hb} and {!Lockorder}; hardware backends capture lock
+    events only, feeding {!Lockorder} alone.  All outputs are
+    deterministic functions of the capture. *)
+
+type report = {
+  n_accesses : int;
+  n_data_words : int;  (** distinct checked (data) words touched *)
+  n_exempt_words : int;  (** registered synchronization/atomic words *)
+  lockset : Lockset.race list;
+  hb : Hb.race list;
+  lock_order : Lockorder.report option;
+      (** [None] when the capture has no lock information at all *)
+  lock_name : int -> string;
+}
+
+val of_machine : Firefly.Machine.t -> report
+(** Analyze a machine whose run was recorded ({!Firefly.Machine.set_recording}). *)
+
+val of_lock_events : Threads_backend.Backend.lock_event list -> report
+
+type backend_result = {
+  br_outcome : Threads_backend.Backend.outcome;
+  br_report : report option;  (** [None] if the backend is uninstrumented *)
+}
+
+val run_backend :
+  Threads_backend.Backend.t ->
+  seed:int ->
+  Threads_backend.Workload.t ->
+  backend_result
+(** Run the workload through the backend's instrumented entry point (same
+    seeds and schedules as its plain [run]) and analyze the capture. *)
+
+val cycles : report -> int list list
+val clean : report -> bool
+
+val findings : report -> string list
+(** All findings as one-line messages: lockset races, then
+    happens-before races, then lock-order cycles. *)

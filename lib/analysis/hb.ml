@@ -1,0 +1,172 @@
+module M = Firefly.Machine
+
+(* Vector-clock happens-before checking in the FastTrack style: per-thread
+   clocks, and per data word a last-write epoch plus a per-thread read
+   table.  Release–acquire edges:
+
+   - W_lock / W_sem words: a clear (or store) releases the word's clock, a
+     winning TAS acquires it — the TAS/clear protocol of spin-locks, mutex
+     Lock-bits and semaphores.  Failed TASes and plain loads of these words
+     are protocol reads, not edges.
+   - W_eventcount words: advance (faa) releases, read acquires — the
+     edge that makes the wakeup-waiting window benign: a waiter's
+     eventcount read at Enqueue synchronizes with any Signal/Broadcast
+     advance it observes.
+   - Probe-level lock events carry edges only for locks NOT backed by a
+     W_lock word (cooperative mutexes, Hoare monitors).  TAS-backed locks
+     get their edges exclusively from the hardware protocol above, so a
+     "lock" whose word is never atomically TASed provides no ordering —
+     which is exactly how a broken spinlock is caught.
+   - Spawn and join edges order a child after its creation and a joiner
+     after the child's last access.
+
+   W_atomic words are exempt: single benign-by-design racy words the
+   paper's protocol sanctions (waiter counts, interest counts). *)
+
+type race = {
+  h_addr : int;
+  h_name : string;
+  h_tid1 : int;  (** earlier access (by stream order) *)
+  h_seq1 : int;
+  h_kind1 : string;
+  h_tid2 : int;  (** later access, unordered with the earlier one *)
+  h_seq2 : int;
+  h_kind2 : string;
+}
+
+type word = {
+  mutable last_write : (int * int * int) option;  (* tid, seq, clock *)
+  reads : (int, int * int) Hashtbl.t;  (* tid -> seq, clock *)
+  mutable reported : bool;
+}
+
+let check ~word_kind ~word_name accesses =
+  let tvc : (int, Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let syncvc : (int, Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let probevc : (int, Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let words : (int, word) Hashtbl.t = Hashtbl.create 64 in
+  let races = ref [] in
+  let vc_of tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+      let c = Vclock.create () in
+      Hashtbl.add tbl key c;
+      c
+  in
+  let thread_vc tid =
+    match Hashtbl.find_opt tvc tid with
+    | Some c -> c
+    | None ->
+      let c = Vclock.create () in
+      (* A thread's own component starts at 1 so its epochs are never
+         confused with the all-zero initial clock. *)
+      Vclock.set c tid 1;
+      Hashtbl.add tvc tid c;
+      c
+  in
+  let word addr =
+    match Hashtbl.find_opt words addr with
+    | Some w -> w
+    | None ->
+      let w = { last_write = None; reads = Hashtbl.create 4; reported = false } in
+      Hashtbl.add words addr w;
+      w
+  in
+  let acquire_from tbl key tid = Vclock.join (thread_vc tid) (vc_of tbl key) in
+  let release_to tbl key tid =
+    let c = thread_vc tid in
+    Vclock.join (vc_of tbl key) c;
+    Vclock.incr c tid
+  in
+  let kind_str = function
+    | M.A_load -> "read"
+    | M.A_tas _ | M.A_faa -> "read-modify-write"
+    | _ -> "write"
+  in
+  let found w (a : M.access) (tid1, seq1, kind1) =
+    if not w.reported then begin
+      w.reported <- true;
+      races :=
+        {
+          h_addr = a.a_addr;
+          h_name = word_name a.a_addr;
+          h_tid1 = tid1;
+          h_seq1 = seq1;
+          h_kind1 = kind1;
+          h_tid2 = a.a_tid;
+          h_seq2 = a.a_seq;
+          h_kind2 = kind_str a.a_kind;
+        }
+        :: !races
+    end
+  in
+  let check_data (a : M.access) ~write =
+    let w = word a.a_addr in
+    let c = thread_vc a.a_tid in
+    (match w.last_write with
+    | Some (t, s, clk)
+      when t <> a.a_tid && not (Vclock.leq_epoch ~tid:t ~clock:clk c) ->
+      found w a (t, s, "write")
+    | _ -> ());
+    if write then begin
+      Hashtbl.iter
+        (fun t (s, clk) ->
+          if t <> a.a_tid && not (Vclock.leq_epoch ~tid:t ~clock:clk c) then
+            found w a (t, s, "read"))
+        w.reads;
+      w.last_write <- Some (a.a_tid, a.a_seq, Vclock.get c a.a_tid);
+      Hashtbl.reset w.reads
+    end
+    else Hashtbl.replace w.reads a.a_tid (a.a_seq, Vclock.get c a.a_tid)
+  in
+  List.iter
+    (fun (a : M.access) ->
+      let k = word_kind a.a_addr in
+      match (a.a_kind, k) with
+      (* -- synchronization-word protocol edges -- *)
+      | M.A_tas true, (Some M.W_lock | Some M.W_sem) ->
+        acquire_from syncvc a.a_addr a.a_tid
+      | M.A_tas false, (Some M.W_lock | Some M.W_sem) -> ()
+      | (M.A_clear | M.A_store), (Some M.W_lock | Some M.W_sem) ->
+        release_to syncvc a.a_addr a.a_tid
+      | M.A_load, (Some M.W_lock | Some M.W_sem) -> ()
+      | M.A_faa, (Some M.W_lock | Some M.W_sem) ->
+        (* Not part of either protocol; treat as a full fence. *)
+        acquire_from syncvc a.a_addr a.a_tid;
+        release_to syncvc a.a_addr a.a_tid
+      | M.A_faa, Some M.W_eventcount -> release_to syncvc a.a_addr a.a_tid
+      | M.A_load, Some M.W_eventcount -> acquire_from syncvc a.a_addr a.a_tid
+      | (M.A_store | M.A_clear | M.A_tas _), Some M.W_eventcount ->
+        acquire_from syncvc a.a_addr a.a_tid;
+        release_to syncvc a.a_addr a.a_tid
+      (* -- sanctioned racy words -- *)
+      | (M.A_load | M.A_store | M.A_clear | M.A_tas _ | M.A_faa), Some M.W_atomic
+        ->
+        ()
+      (* -- probe-level lock edges (non-TAS-backed locks only) -- *)
+      | M.A_lock_acq, _ ->
+        if k <> Some M.W_lock then acquire_from probevc a.a_addr a.a_tid
+      | M.A_lock_rel, _ ->
+        if k <> Some M.W_lock then release_to probevc a.a_addr a.a_tid
+      | M.A_lock_att, _ -> ()
+      (* -- thread lifecycle edges -- *)
+      | M.A_spawn child, _ ->
+        let p = thread_vc a.a_tid in
+        let c = thread_vc child in
+        Vclock.join c p;
+        Vclock.incr p a.a_tid
+      | M.A_join child, _ -> Vclock.join (thread_vc a.a_tid) (thread_vc child)
+      (* -- data accesses -- *)
+      | M.A_load, (None | Some M.W_data) -> check_data a ~write:false
+      | (M.A_store | M.A_clear | M.A_tas _ | M.A_faa), (None | Some M.W_data)
+        ->
+        check_data a ~write:true)
+    accesses;
+  List.rev !races
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "happens-before: %s: t%d's %s at #%d and t%d's %s at #%d are \
+     unordered — no release/acquire chain connects them"
+    r.h_name r.h_tid1 r.h_kind1 r.h_seq1 r.h_tid2 r.h_kind2 r.h_seq2

@@ -1,0 +1,41 @@
+(** Vector-clock happens-before race checking over the access stream.
+
+    Per-thread vector clocks with FastTrack-style per-word metadata (a
+    last-write epoch and a per-thread read table).  Release–acquire edges
+    come from the implementation's real protocols:
+
+    - [W_lock]/[W_sem] words: clear/store releases, winning TAS acquires;
+    - [W_eventcount] words: advance (faa) releases, read acquires — the
+      paper's eventcount protocol, which is what makes the wakeup-waiting
+      window benign;
+    - probe-level lock events, only for locks {e not} backed by a
+      [W_lock] word (cooperative mutexes, Hoare monitors) — a TAS-backed
+      lock gets ordering only from its hardware protocol, so a spinlock
+      that claims acquisition without an atomic TAS provides none and its
+      critical sections race;
+    - spawn/join.
+
+    Happens-before is schedule-sensitive and protocol-exact: it certifies
+    the observed run free of unordered conflicting accesses regardless of
+    which locks were held, the complement of {!Lockset}'s discipline
+    check. *)
+
+type race = {
+  h_addr : int;
+  h_name : string;
+  h_tid1 : int;  (** earlier access (stream order) *)
+  h_seq1 : int;
+  h_kind1 : string;
+  h_tid2 : int;  (** later access, unordered with the earlier one *)
+  h_seq2 : int;
+  h_kind2 : string;
+}
+
+val check :
+  word_kind:(int -> Firefly.Machine.word_kind option) ->
+  word_name:(int -> string) ->
+  Firefly.Machine.access list ->
+  race list
+(** First report per word, in stream order. *)
+
+val pp_race : Format.formatter -> race -> unit

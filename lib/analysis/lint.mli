@@ -1,0 +1,28 @@
+(** Static linter for interface specifications.
+
+    Re-runs {!Spec_core.Proc.well_formed} (declared names, ENSURES names
+    covered by MODIFIES AT MOST, one-state WHEN/REQUIRES, ...) and then
+    model-checks each clause against a small-state universe — two threads
+    and every sort's full value pool, exhaustive for the term language the
+    Threads interface uses:
+
+    - a WHEN guard satisfiable in no enumerated pre state (conjoined with
+      REQUIRES for an atomic action or a composition's first action) is a
+      dead case ({!Error});
+    - an ENSURES admitting no post state from any enabling pre state is
+      an unimplementable case ({!Error});
+    - a MODIFIES name no ENSURES ever constrains leaves that object free
+      to change arbitrarily ({!Warning}). *)
+
+type severity = Error | Warning
+
+type finding = { f_severity : severity; f_proc : string; f_msg : string }
+
+val lint : Spec_core.Proc.interface -> finding list
+(** Findings in declaration order.  When [well_formed] reports anything,
+    only those errors are returned (clause checks assume
+    well-formedness). *)
+
+val errors : finding list -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,110 @@
+module M = Firefly.Machine
+module IS = Set.Make (Int)
+
+(* Eraser's per-word state machine (Savage et al. 1997).  The first
+   thread may do anything (initialization); once a second thread reads
+   the word checking starts in read-shared mode; the first write in
+   shared mode arms reporting.  The candidate set C(v) — locks held on
+   every checked access — is refined by intersection and a report fires
+   when it empties in [Shared_modified]. *)
+type word_state =
+  | Virgin
+  | Exclusive of int
+  | Shared
+  | Shared_modified
+
+type word = {
+  addr : int;
+  mutable st : word_state;
+  mutable cand : IS.t option;  (* None = all locks (not yet constrained) *)
+  mutable last_tid : int;
+  mutable reported : bool;
+}
+
+type race = {
+  r_addr : int;
+  r_name : string;
+  r_tid : int;
+  r_seq : int;
+  r_kind : string;  (* "read" or "write" *)
+  r_prior_tid : int;
+}
+
+type acc_class = Read | Write | Ignore
+
+let classify = function
+  | M.A_load -> Read
+  | M.A_store | M.A_clear | M.A_tas _ | M.A_faa -> Write
+  | M.A_lock_acq | M.A_lock_att | M.A_lock_rel | M.A_spawn _ | M.A_join _ ->
+    Ignore
+
+let inter_held cand held =
+  let h = IS.of_list held in
+  match cand with None -> h | Some c -> IS.inter c h
+
+let check ~word_kind ~word_name accesses =
+  let words : (int, word) Hashtbl.t = Hashtbl.create 64 in
+  let races = ref [] in
+  let is_data addr =
+    match word_kind addr with None | Some M.W_data -> true | _ -> false
+  in
+  let word addr =
+    match Hashtbl.find_opt words addr with
+    | Some w -> w
+    | None ->
+      let w =
+        { addr; st = Virgin; cand = None; last_tid = -1; reported = false }
+      in
+      Hashtbl.add words addr w;
+      w
+  in
+  List.iter
+    (fun (a : M.access) ->
+      match classify a.a_kind with
+      | Ignore -> ()
+      | (Read | Write) when not (is_data a.a_addr) -> ()
+      | cls ->
+        let w = word a.a_addr in
+        let refine () = w.cand <- Some (inter_held w.cand a.a_locks) in
+        let report () =
+          if (not w.reported) && w.cand = Some IS.empty then begin
+            w.reported <- true;
+            races :=
+              {
+                r_addr = a.a_addr;
+                r_name = word_name a.a_addr;
+                r_tid = a.a_tid;
+                r_seq = a.a_seq;
+                r_kind = (if cls = Write then "write" else "read");
+                r_prior_tid = w.last_tid;
+              }
+              :: !races
+          end
+        in
+        (match w.st with
+        | Virgin -> w.st <- Exclusive a.a_tid
+        | Exclusive t when t = a.a_tid -> ()
+        | Exclusive _ ->
+          (* Second thread: checking starts here; C(v) seeds from this
+             access's lock set. *)
+          w.st <- (if cls = Read then Shared else Shared_modified);
+          refine ();
+          report ()
+        | Shared ->
+          refine ();
+          if cls = Write then begin
+            w.st <- Shared_modified;
+            report ()
+          end
+        | Shared_modified ->
+          refine ();
+          report ());
+        w.last_tid <- a.a_tid)
+    accesses;
+  List.rev !races
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "lockset: %s is write-shared with an empty candidate lockset: t%d's %s \
+     at #%d holds no lock in common with earlier accesses (last by t%d)"
+    r.r_name r.r_tid r.r_kind r.r_seq r.r_prior_tid

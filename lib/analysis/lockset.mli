@@ -1,0 +1,33 @@
+(** Eraser-style lockset race detection (Savage et al., SOSP 1997) over
+    the machine's access stream.
+
+    Each data word walks virgin → exclusive → shared → shared-modified;
+    from the moment a second thread touches the word, the candidate set
+    C(v) — locks held on every subsequent access — is refined by
+    intersection, and a race is reported the first time C(v) is empty in
+    the shared-modified state.  Words registered as synchronization
+    ([W_lock], [W_sem], [W_eventcount]) or sanctioned-racy ([W_atomic])
+    are exempt; named [W_data] words and unregistered words are checked.
+
+    Lockset checking is schedule-insensitive: it flags missing lock
+    discipline even on runs where the accesses happened not to collide —
+    and conversely trusts any consistently-held lock, even one acquired
+    by broken code (see {!Hb} for the complementary guarantee). *)
+
+type race = {
+  r_addr : int;
+  r_name : string;
+  r_tid : int;  (** thread whose access emptied the candidate set *)
+  r_seq : int;  (** that access's sequence number in the stream *)
+  r_kind : string;  (** ["read"] or ["write"] *)
+  r_prior_tid : int;  (** the previous thread to touch the word *)
+}
+
+val check :
+  word_kind:(int -> Firefly.Machine.word_kind option) ->
+  word_name:(int -> string) ->
+  Firefly.Machine.access list ->
+  race list
+(** First report per word, in stream order. *)
+
+val pp_race : Format.formatter -> race -> unit

@@ -11,6 +11,13 @@ type outcome = {
   steps : int option;  (** simulator backends only *)
 }
 
+type lock_event = { le_tid : int; le_lock : int; le_acquire : bool }
+
+type instrument =
+  | Machine_access of (seed:int -> Workload.t -> outcome * Firefly.Machine.t)
+  | Lock_trace of (seed:int -> Workload.t -> outcome * lock_event list)
+  | No_instrument
+
 type t = {
   name : string;
   description : string;
@@ -18,6 +25,7 @@ type t = {
   conforming : bool;  (** false for the deliberately-divergent baselines *)
   supports : Workload.feature list;
   run : seed:int -> Workload.t -> outcome;
+  instrument : instrument;
 }
 
 let supports b (wl : Workload.t) =
@@ -51,26 +59,40 @@ let of_report observable (report : Firefly.Interleave.report) =
 
 let max_steps = 2_000_000
 
-let sim_run ~seed (wl : Workload.t) =
+(* Generic simulator-hosted runner: fresh machine, backend built inside a
+   root thread, optional access recording.  The instruction sequence is
+   identical with recording on or off — recording is host-side machine
+   bookkeeping, never an effect — so the [run] and [Machine_access] entry
+   points of a backend see the same schedules for the same seed. *)
+let machine_run ?strategy ~record ~seed build (wl : Workload.t) =
   let observable = ref None in
   let report =
-    Taos_threads.Api.run ~seed ~max_steps (fun sync ->
-        let module S = (val sync) in
-        observable := Some (wl.body (module S : Sync_intf.SYNC)))
+    Firefly.Interleave.run ?strategy ~seed ~max_steps (fun machine ->
+        if record then Firefly.Machine.set_recording machine true;
+        ignore
+          (Firefly.Machine.spawn_root machine (fun () ->
+               observable := Some (wl.body (build ())))))
   in
-  of_report observable report
+  (of_report observable report, report.Firefly.Interleave.machine)
 
-let uniproc_run ~seed (wl : Workload.t) =
-  let observable = ref None in
-  let report =
-    Taos_threads.Uniproc.run ~seed
-      ~strategy:(Firefly.Sched.random seed)
-      ~max_steps
-      (fun sync ->
-        let module S = (val sync) in
-        observable := Some (wl.body (module S : Sync_intf.SYNC)))
-  in
-  of_report observable report
+let taos_build () =
+  let module S = (val Taos_threads.Api.make (Taos_threads.Pkg.create ())) in
+  (module S : Sync_intf.SYNC)
+
+let uniproc_build () =
+  let module S = (val Taos_threads.Uniproc.make ()) in
+  (module S : Sync_intf.SYNC)
+
+let sim_run ~seed wl = fst (machine_run ~record:false ~seed taos_build wl)
+
+(* The cooperative backend runs under a random strategy here (its own
+   default is round-robin) so different seeds exercise different wake
+   orders, like the other simulator-hosted backends. *)
+let uniproc_run ~seed wl =
+  fst
+    (machine_run
+       ~strategy:(Firefly.Sched.random seed)
+       ~record:false ~seed uniproc_build wl)
 
 (* The rejected design as a full backend: the two-layer Taos mutex,
    semaphore and alert machinery, with conditions represented by a binary
@@ -109,16 +131,8 @@ let naive_make pkg : (module Sync_intf.SYNC) =
     let yield = Ops.yield
   end)
 
-let naive_run ~seed (wl : Workload.t) =
-  let observable = ref None in
-  let report =
-    Firefly.Interleave.run ~seed ~max_steps (fun machine ->
-        ignore
-          (Firefly.Machine.spawn_root machine (fun () ->
-               let pkg = Taos_threads.Pkg.create () in
-               observable := Some (wl.body (naive_make pkg)))))
-  in
-  of_report observable report
+let naive_build () = naive_make (Taos_threads.Pkg.create ())
+let naive_run ~seed wl = fst (machine_run ~record:false ~seed naive_build wl)
 
 (* Hoare monitors as the mutex/condition pair (conditions bind to their
    monitor at first wait), Taos semaphores alongside; no alerting. *)
@@ -163,16 +177,8 @@ let hoare_make pkg : (module Sync_intf.SYNC) =
     let yield = Ops.yield
   end)
 
-let hoare_run ~seed (wl : Workload.t) =
-  let observable = ref None in
-  let report =
-    Firefly.Interleave.run ~seed ~max_steps (fun machine ->
-        ignore
-          (Firefly.Machine.spawn_root machine (fun () ->
-               let pkg = Taos_threads.Pkg.create () in
-               observable := Some (wl.body (hoare_make pkg)))))
-  in
-  of_report observable report
+let hoare_build () = hoare_make (Taos_threads.Pkg.create ())
+let hoare_run ~seed wl = fst (machine_run ~record:false ~seed hoare_build wl)
 
 let multicore_run ~seed:_ (wl : Workload.t) =
   let module MC = Threads_multicore.Multicore in
@@ -189,6 +195,33 @@ let multicore_run ~seed:_ (wl : Workload.t) =
       steps = None;
     }
 
+(* Hardware runs have no access stream; the lock-event capture feeds the
+   lock-order analyzer only. *)
+let multicore_lock_run ~seed:_ (wl : Workload.t) =
+  let module MC = Threads_multicore.Multicore in
+  match
+    MC.analyzed_run (fun () -> wl.body (module MC.Sync : Sync_intf.SYNC))
+  with
+  | observable, evs ->
+    ( {
+        verdict = Completed;
+        observable = Some observable;
+        trace = [];
+        steps = None;
+      },
+      List.map
+        (fun (e : MC.lock_event) ->
+          { le_tid = e.le_tid; le_lock = e.le_lock; le_acquire = e.le_acquire })
+        evs )
+  | exception e ->
+    ( {
+        verdict = Crashed (Printexc.to_string e);
+        observable = None;
+        trace = [];
+        steps = None;
+      },
+      [] )
+
 let all =
   [
     {
@@ -198,6 +231,8 @@ let all =
       conforming = true;
       supports = [ Workload.Alerts ];
       run = sim_run;
+      instrument =
+        Machine_access (fun ~seed wl -> machine_run ~record:true ~seed taos_build wl);
     };
     {
       name = "uniproc";
@@ -206,6 +241,12 @@ let all =
       conforming = true;
       supports = [ Workload.Alerts ];
       run = uniproc_run;
+      instrument =
+        Machine_access
+          (fun ~seed wl ->
+            machine_run
+              ~strategy:(Firefly.Sched.random seed)
+              ~record:true ~seed uniproc_build wl);
     };
     {
       name = "naive";
@@ -214,6 +255,9 @@ let all =
       conforming = false;
       supports = [];
       run = naive_run;
+      instrument =
+        Machine_access
+          (fun ~seed wl -> machine_run ~record:true ~seed naive_build wl);
     };
     {
       name = "hoare";
@@ -222,6 +266,9 @@ let all =
       conforming = false;
       supports = [];
       run = hoare_run;
+      instrument =
+        Machine_access
+          (fun ~seed wl -> machine_run ~record:true ~seed hoare_build wl);
     };
     {
       name = "multicore";
@@ -230,6 +277,7 @@ let all =
       conforming = true;
       supports = [ Workload.Alerts ];
       run = multicore_run;
+      instrument = Lock_trace multicore_lock_run;
     };
   ]
 

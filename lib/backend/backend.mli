@@ -27,6 +27,22 @@ type outcome = {
   steps : int option;  (** simulator backends only *)
 }
 
+(** One mutex acquisition/release from a hardware backend, for the
+    lock-order analyzer (each thread's events in its program order). *)
+type lock_event = { le_tid : int; le_lock : int; le_acquire : bool }
+
+(** How a backend exposes itself to [lib/analysis].  Simulator-hosted
+    backends return the machine of a recorded run — the full access
+    stream plus word/lock registries — feeding all three dynamic
+    analyzers; hardware backends capture only lock events, feeding
+    lock-order analysis.  Instrumented runs use the same seeds and
+    schedules as [run] (recording is host-side bookkeeping, not an
+    instruction). *)
+type instrument =
+  | Machine_access of (seed:int -> Workload.t -> outcome * Firefly.Machine.t)
+  | Lock_trace of (seed:int -> Workload.t -> outcome * lock_event list)
+  | No_instrument
+
 type t = {
   name : string;
   description : string;
@@ -34,6 +50,7 @@ type t = {
   conforming : bool;  (** false for the deliberately-divergent baselines *)
   supports : Workload.feature list;
   run : seed:int -> Workload.t -> outcome;
+  instrument : instrument;
 }
 
 (** [supports b w] — does [b] provide every feature [w] needs? *)

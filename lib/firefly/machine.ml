@@ -3,6 +3,43 @@ module Trace = Spec_trace
 
 type status = Runnable | Blocked | Finished | Failed of exn
 
+(* ---- low-level access stream (dynamic analysis) ----
+
+   When recording is on, every shared-memory instruction — and every
+   package-level lock acquisition reported through the probes — appends
+   one [access] stamped with the issuing thread and the set of locks that
+   thread held at that instant.  Recording is host-side bookkeeping only:
+   it charges no cycles, adds no scheduling points and consumes no
+   randomness, so a recorded run is cycle- and schedule-identical to an
+   unrecorded one (the same guarantee as the Obs probes). *)
+
+type word_kind =
+  | W_lock  (** TAS/clear mutual-exclusion word: spin-locks, mutex Lock-bits *)
+  | W_sem  (** semaphore availability bit: V's clear releases to P's TAS *)
+  | W_eventcount  (** monotone counter: advance releases to readers *)
+  | W_atomic  (** deliberately unsynchronized single word (benign by design) *)
+  | W_data  (** named ordinary data word; unregistered words are also data *)
+
+type access_kind =
+  | A_load
+  | A_store
+  | A_tas of bool  (** [true] = won the word (old value was 0) *)
+  | A_clear
+  | A_faa
+  | A_lock_acq  (** package-level lock acquisition (addr = lock id) *)
+  | A_lock_att  (** blocked/contended acquisition attempt *)
+  | A_lock_rel
+  | A_spawn of Tid.t
+  | A_join of Tid.t
+
+type access = {
+  a_seq : int;
+  a_tid : Tid.t;
+  a_addr : int;  (** word address or lock id; [-1] for spawn/join *)
+  a_kind : access_kind;
+  a_locks : int list;  (** lock ids held (for [A_lock_acq]: before acquiring) *)
+}
+
 (* A memory operation bundled with trace emission; see Ops.mem_emit. *)
 type mem_op =
   | M_none
@@ -71,6 +108,7 @@ type thread = {
   mutable instr : int;
   mutable cycles : int;
   mutable joiners : Tid.t list;
+  mutable held : int list;  (* lock ids held, most recently acquired first *)
 }
 
 type t = {
@@ -85,6 +123,11 @@ type t = {
   obs : Obs.Instrument.t;
   mutable total_instr : int;
   mutable total_cycles : int;
+  mutable recording : bool;
+  mutable accs : access list;  (* newest first; [accesses] reverses *)
+  mutable acc_count : int;
+  words : (int, word_kind * string) Hashtbl.t;  (* addr -> classification *)
+  lock_names : (int, string) Hashtbl.t;  (* lock id -> name, for reports *)
 }
 
 (* The machine whose thread is currently inside [step], with that thread's
@@ -106,6 +149,7 @@ let dummy_thread =
     instr = 0;
     cycles = 0;
     joiners = [];
+    held = [];
   }
 
 let create ?(seed = 0) ?(cost = Cost.default) () =
@@ -121,6 +165,11 @@ let create ?(seed = 0) ?(cost = Cost.default) () =
     obs = Obs.Instrument.create ();
     total_instr = 0;
     total_cycles = 0;
+    recording = false;
+    accs = [];
+    acc_count = 0;
+    words = Hashtbl.create 16;
+    lock_names = Hashtbl.create 16;
   }
 
 let thread m tid =
@@ -146,6 +195,7 @@ let add_thread m ?(priority = 0) ?(interrupt = false) f =
       instr = 0;
       cycles = 0;
       joiners = [];
+      held = [];
     };
   m.nthreads <- tid + 1;
   tid
@@ -188,6 +238,24 @@ let alloc m n =
   m.mem_used <- base + n;
   base
 
+let record m tid addr kind =
+  if m.recording then begin
+    m.accs <-
+      {
+        a_seq = m.acc_count;
+        a_tid = tid;
+        a_addr = addr;
+        a_kind = kind;
+        a_locks = m.threads.(tid).held;
+      }
+      :: m.accs;
+    m.acc_count <- m.acc_count + 1
+  end
+
+let rec remove_first x = function
+  | [] -> []
+  | y :: rest -> if x = y then rest else y :: remove_first x rest
+
 let wake m tid =
   let t = thread m tid in
   match t.status with
@@ -210,7 +278,13 @@ let wake m tid =
 let finish m t st =
   t.status <- st;
   t.paused <- Gone;
-  List.iter (fun j -> wake m j) t.joiners;
+  (* Record the join edge at the moment it takes effect: each joiner's
+     subsequent execution happens after everything [t] did. *)
+  List.iter
+    (fun j ->
+      record m j (-1) (A_join t.tid);
+      wake m j)
+    t.joiners;
   t.joiners <- []
 
 (* Run the body of [t] until its next effect, capturing the continuation.
@@ -260,28 +334,33 @@ let execute_effect (type a) m t (eff : a Effect.t)
   match eff with
   | E_read a ->
     let v = m.mem.(a) in
+    record m t.tid a A_load;
     let cost = charge ~instr:true c.read in
     resume m t k v;
     cost
   | E_write (a, v) ->
     m.mem.(a) <- v;
+    record m t.tid a A_store;
     let cost = charge ~instr:true c.write in
     resume m t k ();
     cost
   | E_tas a ->
     let old = m.mem.(a) in
     m.mem.(a) <- 1;
+    record m t.tid a (A_tas (old = 0));
     let cost = charge ~instr:true c.tas in
     resume m t k (old <> 0);
     cost
   | E_clear a ->
     m.mem.(a) <- 0;
+    record m t.tid a A_clear;
     let cost = charge ~instr:true c.write in
     resume m t k ();
     cost
   | E_faa (a, n) ->
     let old = m.mem.(a) in
     m.mem.(a) <- old + n;
+    record m t.tid a A_faa;
     let cost = charge ~instr:true c.faa in
     resume m t k old;
     cost
@@ -294,12 +373,14 @@ let execute_effect (type a) m t (eff : a Effect.t)
     0
   | E_spawn (f, prio) ->
     let tid = add_thread m ?priority:prio f in
+    record m t.tid (-1) (A_spawn tid);
     resume m t k tid;
     0
   | E_join target ->
     let tgt = thread m target in
     (match tgt.status with
     | Finished | Failed _ ->
+      record m t.tid (-1) (A_join target);
       resume m t k ();
       0
     | Runnable | Blocked when t.intr ->
@@ -325,6 +406,11 @@ let execute_effect (type a) m t (eff : a Effect.t)
     else if t.wakeup_pending then begin
       t.wakeup_pending <- false;
       m.mem.(a) <- 0;
+      if List.mem a t.held then begin
+        t.held <- remove_first a t.held;
+        record m t.tid a A_lock_rel
+      end;
+      record m t.tid a A_clear;
       t.paused <- Resume_unit k;
       let cost = charge ~instr:true c.write in
       Obs.Instrument.incr m.obs "machine.wakeup_waiting_saves" 1;
@@ -332,6 +418,11 @@ let execute_effect (type a) m t (eff : a Effect.t)
     end
     else begin
       m.mem.(a) <- 0;
+      if List.mem a t.held then begin
+        t.held <- remove_first a t.held;
+        record m t.tid a A_lock_rel
+      end;
+      record m t.tid a A_clear;
       t.status <- Blocked;
       t.paused <- Resume_unit k;
       let cost = charge ~instr:true c.write in
@@ -371,17 +462,22 @@ let execute_effect (type a) m t (eff : a Effect.t)
     let result, cost =
       match op with
       | M_none -> (0, charge ~instr:true c.write)
-      | M_read a -> (m.mem.(a), charge ~instr:true c.read)
+      | M_read a ->
+        record m t.tid a A_load;
+        (m.mem.(a), charge ~instr:true c.read)
       | M_tas a ->
         let old = m.mem.(a) in
         m.mem.(a) <- 1;
+        record m t.tid a (A_tas (old = 0));
         (old, charge ~instr:true c.tas)
       | M_clear a ->
         m.mem.(a) <- 0;
+        record m t.tid a A_clear;
         (0, charge ~instr:true c.write)
       | M_faa (a, n) ->
         let old = m.mem.(a) in
         m.mem.(a) <- old + n;
+        record m t.tid a A_faa;
         (old, charge ~instr:true c.faa)
     in
     (* The thunk runs inside this step, atomically with the memory
@@ -447,6 +543,31 @@ let all_tids m = List.init m.nthreads (fun i -> i)
 let cost_model m = m.cost
 let obs m = m.obs
 
+(* ---- access-stream accessors ---- *)
+
+let set_recording m b = m.recording <- b
+let recording m = m.recording
+let accesses m = List.rev m.accs
+let access_count m = m.acc_count
+let word_kind m a = Option.map fst (Hashtbl.find_opt m.words a)
+
+let word_name m a =
+  match Hashtbl.find_opt m.words a with
+  | Some (_, name) -> name
+  | None -> Printf.sprintf "word@%d" a
+
+let lock_name m id =
+  match Hashtbl.find_opt m.lock_names id with
+  | Some name -> name
+  | None -> (
+    match Hashtbl.find_opt m.words id with
+    | Some (_, name) -> name
+    | None -> Printf.sprintf "lock#%d" id)
+
+let registered_words m =
+  Hashtbl.fold (fun a (k, n) acc -> (a, k, n) :: acc) m.words []
+  |> List.sort compare
+
 (* Zero-sim-cost observation points for package code (see [current]).
    Every entry point is a no-op outside a simulated thread, so the Threads
    package stays loadable from code not running under a machine. *)
@@ -498,5 +619,59 @@ module Probe = struct
     match !current with
     | Some (m, tid) ->
       Obs.Instrument.span_add m.obs ~track:tid ?cat name ~t0 ~t1
+    | None -> ()
+
+  (* ---- access-stream probes ----
+
+     Classification and lock-held tracking for the analyzers in
+     lib/analysis.  Like every probe these are plain function calls: no
+     effect, no cycle, no scheduling point.  The held-lock list is
+     maintained even when recording is off (it is a handful of conses per
+     lock operation), so recording can be enabled at any time. *)
+
+  (* Classify a memory word so the analyzers know its protocol role.
+     Unregistered words are treated as ordinary data. *)
+  let register_word addr kind name =
+    match !current with
+    | Some (m, _) ->
+      Hashtbl.replace m.words addr (kind, name);
+      if kind = W_lock then Hashtbl.replace m.lock_names addr name
+    | None -> ()
+
+  (* Name a package-level lock that is not backed by a TAS word (e.g. the
+     cooperative backend's mutexes, Hoare monitors). *)
+  let register_lock id name =
+    match !current with
+    | Some (m, _) -> Hashtbl.replace m.lock_names id name
+    | None -> ()
+
+  (* [?tid] covers grants made on another thread's behalf (Hoare's signal
+     hands the monitor to the resumed waiter inside the signaller's
+     instruction). *)
+  let lock_acquired ?tid id =
+    match !current with
+    | Some (m, cur) ->
+      let tid = Option.value tid ~default:cur in
+      let t = thread m tid in
+      record m tid id A_lock_acq;
+      (* recorded before extending [held]: a_locks = locks held on entry *)
+      t.held <- id :: t.held
+    | None -> ()
+
+  let lock_released ?tid id =
+    match !current with
+    | Some (m, cur) ->
+      let tid = Option.value tid ~default:cur in
+      let t = thread m tid in
+      t.held <- remove_first id t.held;
+      record m tid id A_lock_rel
+    | None -> ()
+
+  (* A contended acquisition about to block: gives the lock-order graph
+     the attempted edge even if the acquisition never succeeds (the
+     classic deadlock leaves both attempts pending forever). *)
+  let lock_attempted id =
+    match !current with
+    | Some (m, cur) -> record m cur id A_lock_att
     | None -> ()
 end

@@ -18,6 +18,47 @@ type status =
   | Finished
   | Failed of exn  (** the thread body escaped with an exception *)
 
+(** {1 Low-level access stream (dynamic analysis)}
+
+    With {!set_recording} on, the machine appends one {!access} per
+    shared-memory instruction — and one per package-level lock event
+    reported through {!Probe.lock_acquired}/{!Probe.lock_released} —
+    stamped with the issuing thread and the lock ids it held.  Recording
+    is host-side bookkeeping only (no cycles, no scheduling points, no
+    randomness), so a recorded run is cycle- and schedule-identical to an
+    unrecorded one.  [lib/analysis] consumes this stream. *)
+
+(** Protocol role of a registered memory word (see
+    {!Probe.register_word}).  The analyzers exempt synchronization words
+    from race checking and derive happens-before edges from their
+    operations; unregistered words are ordinary data. *)
+type word_kind =
+  | W_lock  (** TAS/clear mutual-exclusion word: spin-locks, mutex Lock-bits *)
+  | W_sem  (** semaphore availability bit: V's clear releases to P's TAS *)
+  | W_eventcount  (** monotone counter: advance releases to readers *)
+  | W_atomic  (** deliberately unsynchronized single word (benign by design) *)
+  | W_data  (** named ordinary data word; unregistered words are also data *)
+
+type access_kind =
+  | A_load
+  | A_store
+  | A_tas of bool  (** [true] = won the word (old value was 0) *)
+  | A_clear
+  | A_faa
+  | A_lock_acq  (** package-level lock acquisition (addr = lock id) *)
+  | A_lock_att  (** blocked/contended acquisition attempt *)
+  | A_lock_rel
+  | A_spawn of Threads_util.Tid.t
+  | A_join of Threads_util.Tid.t
+
+type access = {
+  a_seq : int;
+  a_tid : Threads_util.Tid.t;
+  a_addr : int;  (** word address or lock id; [-1] for spawn/join *)
+  a_kind : access_kind;
+  a_locks : int list;  (** lock ids held (for [A_lock_acq]: before acquiring) *)
+}
+
 (** Memory operation for {!Ops.mem_emit}.  [M_none] is a plain store-class
     instruction with no memory visible effect (used when the action commits
     purely in package bookkeeping, e.g. Alert's pending-set insert).
@@ -144,6 +185,31 @@ module Probe : sig
 
   (** Record an already-delimited span on the current thread's track. *)
   val span_add : ?cat:string -> string -> t0:int -> t1:int -> unit
+
+  (** {2 Access-stream probes (lib/analysis)} *)
+
+  (** [register_word addr kind name] classifies memory word [addr] for the
+      analyzers.  A [W_lock] registration also names [addr] as a lock id
+      (TAS-backed locks use their word address as their id). *)
+  val register_word : int -> word_kind -> string -> unit
+
+  (** [register_lock id name] names a package-level lock that is not
+      backed by a TAS word (cooperative mutexes, Hoare monitors). *)
+  val register_lock : int -> string -> unit
+
+  (** [lock_acquired ?tid id] marks lock [id] as held by [tid] (default:
+      the stepping thread) and records an [A_lock_acq].  [?tid] covers
+      grants made on another thread's behalf, e.g. Hoare's signal handing
+      the monitor to the resumed waiter.  Held-lock tracking works even
+      with recording off. *)
+  val lock_acquired : ?tid:Threads_util.Tid.t -> int -> unit
+
+  val lock_released : ?tid:Threads_util.Tid.t -> int -> unit
+
+  (** [lock_attempted id] records a contended acquisition about to block,
+      so the lock-order graph sees the attempted edge even when the
+      acquisition never succeeds (the classic deadlock). *)
+  val lock_attempted : int -> unit
 end
 
 (** {1 Construction and stepping (driver side)} *)
@@ -210,3 +276,29 @@ val cost_model : t -> Cost.t
     spans).  Snapshot it after a run for {!Obs.Report} or
     {!Obs.Chrome_trace}. *)
 val obs : t -> Obs.Instrument.t
+
+(** {1 Access stream (driver side)} *)
+
+(** Enable/disable access recording.  Off by default; usually switched on
+    right after {!create}, before any thread runs. *)
+val set_recording : t -> bool -> unit
+
+val recording : t -> bool
+
+(** Recorded accesses in execution order (empty unless recording). *)
+val accesses : t -> access list
+
+val access_count : t -> int
+
+(** Classification of word [a], if registered ([None] = ordinary data). *)
+val word_kind : t -> int -> word_kind option
+
+(** Registered name of word [a], or ["word@a"]. *)
+val word_name : t -> int -> string
+
+(** Name of lock [id]: from {!Probe.register_lock}, else the word registry,
+    else ["lock#id"]. *)
+val lock_name : t -> int -> string
+
+(** All registered words [(addr, kind, name)], sorted by address. *)
+val registered_words : t -> (int * word_kind * string) list

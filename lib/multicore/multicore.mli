@@ -46,6 +46,19 @@ val traced_run : (unit -> 'a) -> 'a * Spec_trace.event list
     entry point).  Takes effect for actions that commit after the store. *)
 val set_trace_sink : Spec_trace.Sink.t option -> unit
 
+(** One mutex acquisition or release, as captured by {!analyzed_run}.
+    Thread ids are the package's own; lock ids are mutex trace ids.
+    Semaphores are not captured (V need not come from the P-ing thread,
+    so they carry no lock-order information). *)
+type lock_event = { le_tid : int; le_lock : int; le_acquire : bool }
+
+(** [analyzed_run body] — clear residual alert state, capture every mutex
+    acquisition/release during [body], and return the result with the
+    events (each thread's events in its program order).  Like the trace
+    sink, the log is package-global: do not run two analyzed bodies
+    concurrently. *)
+val analyzed_run : (unit -> 'a) -> 'a * lock_event list
+
 (** Clear leftover pending alerts and cancellations from a previous run
     (thread ids are never reused, so this is hygiene, not correctness —
     except for the main thread, whose id persists across runs). *)

@@ -19,10 +19,21 @@ type t = {
 }
 
 let create pkg =
+  let evc = Firefly.Eventcount.create () in
+  let interest = Ops.alloc 1 in
+  (* interest is faa'd/read outside the spin-lock by design (the
+     conservative nub-skip test); the eventcount's advance-under-lock /
+     racy-read-at-enqueue is the paper's wakeup-waiting cover. *)
+  Probe.register_word interest M.W_atomic
+    (Printf.sprintf "cond#%d.interest" interest);
+  Probe.register_word
+    (Firefly.Eventcount.value_addr evc)
+    M.W_eventcount
+    (Printf.sprintf "cond#%d.evc" interest);
   {
     pkg;
-    evc = Firefly.Eventcount.create ();
-    interest = Ops.alloc 1;
+    evc;
+    interest;
     q = Tqueue.create ();
     window = Hashtbl.create 8;
     departing = Hashtbl.create 8;

@@ -25,12 +25,18 @@ let atomically f = ignore (Ops.mem_emit M.M_none (fun _ -> f (); None))
 let emit = M.Probe.emit
 
 let monitor () =
+  let scratch = Ops.alloc 1 in
+  (* The scratch word is only a deschedule target; the monitor itself is
+     the lock, identified by the scratch address. *)
+  M.Probe.register_word scratch M.W_atomic
+    (Printf.sprintf "monitor#%d.scratch" scratch);
+  M.Probe.register_lock scratch (Printf.sprintf "monitor#%d" scratch);
   {
     holder = None;
     entry = Tqueue.create ();
     urgent = Tqueue.create ();
     switch_count = 0;
-    scratch = Ops.alloc 1;
+    scratch;
   }
 
 let condition mon =
@@ -46,9 +52,12 @@ let enter mon =
       match mon.holder with
       | None ->
         mon.holder <- Some self;
+        M.Probe.lock_acquired mon.scratch;
         emit (Events.acquire ~self ~m:mon.scratch);
         got := true
-      | Some _ -> Tqueue.push mon.entry self);
+      | Some _ ->
+        M.Probe.lock_attempted mon.scratch;
+        Tqueue.push mon.entry self);
   if not !got then Ops.deschedule_and_clear mon.scratch
 
 (* Pass the monitor to a suspended signaller first, then to an entering
@@ -59,6 +68,7 @@ let enter mon =
 let pass_on mon =
   let grant t =
     mon.holder <- Some t;
+    M.Probe.lock_acquired ~tid:t mon.scratch;
     emit (Events.acquire ~self:t ~m:mon.scratch);
     Some t
   in
@@ -77,6 +87,7 @@ let exit mon =
       (match M.Probe.self () with
       | Some self -> emit (Events.release ~self ~m:mon.scratch)
       | None -> ());
+      M.Probe.lock_released mon.scratch;
       next := pass_on mon);
   match !next with Some t -> Ops.ready t | None -> ()
 
@@ -90,6 +101,7 @@ let wait c =
   atomically (fun () ->
       Tqueue.push c.hq self;
       emit (Events.enqueue ~proc:"Wait" ~self ~m:c.mon.scratch ~c:c.cid);
+      M.Probe.lock_released c.mon.scratch;
       next := pass_on c.mon);
   (match !next with Some t -> Ops.ready t | None -> ());
   Ops.deschedule_and_clear c.mon.scratch
@@ -108,6 +120,8 @@ let do_signal c =
       | Some w ->
         (* Hand over the monitor and step aside onto the urgent queue. *)
         c.mon.holder <- Some w;
+        M.Probe.lock_released c.mon.scratch;
+        M.Probe.lock_acquired ~tid:w c.mon.scratch;
         Tqueue.push c.mon.urgent self;
         c.mon.switch_count <- c.mon.switch_count + 2;
         emit (Events.signal ~self ~c:c.cid ~removed:[ w ]);

@@ -12,6 +12,10 @@ type t = {
 let create pkg =
   let bit = Ops.alloc 1 in
   let waiters = Ops.alloc 1 in
+  Probe.register_word bit M.W_lock (Printf.sprintf "mutex#%d" bit);
+  (* Read racily by the release fast path; the paper sanctions this. *)
+  Probe.register_word waiters M.W_atomic
+    (Printf.sprintf "mutex#%d.waiters" bit);
   { pkg; bit; waiters; q = Tqueue.create () }
 
 let id m = m.bit
@@ -22,6 +26,7 @@ let name m = Printf.sprintf "mutex#%d" m.bit
    inside the mem_emit thunk, atomically with the winning test-and-set. *)
 let on_acquired m ~fast =
   let n = name m in
+  Probe.lock_acquired m.bit;
   Probe.counter (n ^ ".acquires") 1;
   Probe.counter (n ^ ".fast_path_hits") (if fast then 1 else 0);
   Probe.span_begin ~cat:"mutex" ("held " ^ n)
@@ -118,6 +123,7 @@ let unlock_internal m ~event =
   let n = name m in
   ignore
     (Ops.mem_emit (M.M_clear m.bit) (fun _ ->
+         Probe.lock_released m.bit;
          Probe.counter (n ^ ".releases") 1;
          (match Probe.span_end ("held " ^ n) with
          | Some d -> Probe.sample (n ^ ".hold_cycles") d

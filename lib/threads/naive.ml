@@ -1,4 +1,5 @@
 module Ops = Firefly.Machine.Ops
+module Probe = Firefly.Machine.Probe
 
 type t = {
   sem : Semaphore.t;
@@ -10,7 +11,13 @@ let create pkg =
   (* A condition's semaphore must start unavailable so P blocks until a
      Signal's V. *)
   Semaphore.p sem;
-  { sem; nwaiters = Ops.alloc 1 }
+  let nwaiters = Ops.alloc 1 in
+  (* Deliberately registered as plain data, not W_atomic: the decrement in
+     [wait] runs outside the mutex, and the lockset analyzer should see
+     that — it is part of what is broken about this design. *)
+  Probe.register_word nwaiters Firefly.Machine.W_data
+    (Printf.sprintf "naive-cond#%d.nwaiters" (Semaphore.id sem));
+  { sem; nwaiters }
 
 let wait t m =
   ignore (Ops.faa t.nwaiters 1);

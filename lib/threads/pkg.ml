@@ -1,4 +1,4 @@
 type t = { lock : Spinlock.t; alerts : Alerts.t; fast_path : bool }
 
 let create ?(fast_path = true) () =
-  { lock = Spinlock.create (); alerts = Alerts.create (); fast_path }
+  { lock = Spinlock.create ~name:"nub-lock" (); alerts = Alerts.create (); fast_path }

@@ -12,6 +12,9 @@ type t = {
 let create pkg =
   let bit = Ops.alloc 1 in
   let waiters = Ops.alloc 1 in
+  Probe.register_word bit M.W_sem (Printf.sprintf "sem#%d" bit);
+  Probe.register_word waiters M.W_atomic
+    (Printf.sprintf "sem#%d.waiters" bit);
   { pkg; bit; waiters; q = Tqueue.create () }
 
 let id s = s.bit

@@ -3,7 +3,10 @@ module Probe = Firefly.Machine.Probe
 
 type t = { bit : int }
 
-let create () = { bit = Ops.alloc 1 }
+let create ?(name = "spin-lock") () =
+  let bit = Ops.alloc 1 in
+  Probe.register_word bit Firefly.Machine.W_lock name;
+  { bit }
 
 (* [?obs] attributes contended spinning to the synchronization object
    whose Nub subroutine took the spin-lock: per-object spin-iteration and
@@ -20,15 +23,20 @@ let acquire ?obs l =
       | None -> ());
       go ~spun:true
     end
-    else if spun then
-      match obs with
-      | Some n ->
-        let t1 = Probe.now () in
-        Probe.counter (n ^ ".spin_cycles") (t1 - t0);
-        Probe.span_add ~cat:"spin" ("spin " ^ n) ~t0 ~t1
-      | None -> ()
+    else begin
+      Probe.lock_acquired l.bit;
+      if spun then
+        match obs with
+        | Some n ->
+          let t1 = Probe.now () in
+          Probe.counter (n ^ ".spin_cycles") (t1 - t0);
+          Probe.span_add ~cat:"spin" ("spin " ^ n) ~t0 ~t1
+        | None -> ()
+    end
   in
   go ~spun:false
 
-let release l = Ops.clear l.bit
+let release l =
+  Probe.lock_released l.bit;
+  Ops.clear l.bit
 let addr l = l.bit

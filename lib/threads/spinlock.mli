@@ -8,8 +8,9 @@
 
 type t
 
-(** [create ()] — allocates the lock bit (thread context). *)
-val create : unit -> t
+(** [create ?name ()] — allocates the lock bit (thread context) and
+    registers it as a [W_lock] word under [name] for the analyzers. *)
+val create : ?name:string -> unit -> t
 
 (** [acquire ?obs l] busy-waits until the bit is won.  Spin iterations are
     counted under the machine counter ["spin.iterations"]; with [?obs]

@@ -45,9 +45,11 @@ let rec lock_loop st m ~event =
       match m.holder with
       | None ->
         m.holder <- Some self;
+        M.Probe.lock_acquired m.mid;
         got := true;
         event ()
       | Some _ ->
+        M.Probe.lock_attempted m.mid;
         Tqueue.push m.mq self;
         None);
   if not !got then begin
@@ -58,6 +60,7 @@ let rec lock_loop st m ~event =
 let unlock _st m ~event =
   atomically (fun () ->
       m.holder <- None;
+      M.Probe.lock_released m.mid;
       event ());
   (* Hand the next queued acquirer a chance; it re-checks on wake. *)
   match Tqueue.pop m.mq with Some t -> Ops.ready t | None -> ()
@@ -82,6 +85,7 @@ let wait_generic st c m ~proc ~alertable =
                Ops.ready self)
        end);
       m.holder <- None;
+      M.Probe.lock_released m.mid;
       Some (Events.enqueue ~proc ~self ~m:m.mid ~c:c.cid));
   (match Tqueue.pop m.mq with Some t -> Ops.ready t | None -> ());
   if not !alerted_now then block st;
@@ -150,12 +154,16 @@ let rec p_loop st s ~alertable ~event =
     else p_loop st s ~alertable ~event
 
 let make () : sync =
+  let scratch = Ops.alloc 1 in
+  (* Every blocking thread clears this shared word with no lock held; it
+     carries no data, so exempt it from race analysis. *)
+  M.Probe.register_word scratch M.W_atomic "uniproc.scratch";
   let st =
     {
       pending = Tid.Set.empty;
       cancels = Hashtbl.create 8;
       woken = Hashtbl.create 8;
-      scratch = Ops.alloc 1;
+      scratch;
       next_id = 0;
     }
   in
@@ -165,7 +173,10 @@ let make () : sync =
     type semaphore = sem
     type thread = Tid.t
 
-    let mutex () = { holder = None; mq = Tqueue.create (); mid = fresh_id st }
+    let mutex () =
+      let mid = fresh_id st in
+      M.Probe.register_lock mid (Printf.sprintf "mutex#%d" mid);
+      { holder = None; mq = Tqueue.create (); mid }
 
     let condition () =
       { cq = Tqueue.create (); departing = Hashtbl.create 4; cid = fresh_id st }

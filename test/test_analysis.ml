@@ -1,0 +1,287 @@
+(* Validation of the dynamic analyzers (lockset, happens-before,
+   lock-order) and the static spec linter.
+
+   The seeded mutants pin down the division of labour: the broken
+   spinlock is invisible to lockset (its critical sections consistently
+   "hold" the lock) but caught by happens-before (no interlocked TAS, no
+   acquire edge); the naive-broadcast baseline is a lockset catch (waiter
+   count touched outside the mutex); lock inversion is a lock-order cycle
+   whatever the schedule.  Conforming backends must be silent across many
+   seeds, and recording must not perturb execution at all. *)
+
+module An = Threads_analysis.Analysis
+module Mu = Threads_analysis.Mutants
+module Lint = Threads_analysis.Lint
+module Bk = Threads_backend.Backend
+module Wl = Threads_backend.Workload
+module M = Firefly.Machine
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let seeds n = List.init n (fun i -> 100 + (7 * i))
+
+(* --- mutants --- *)
+
+let check_scenario (s : Mu.scenario) seed =
+  let r = An.of_machine (s.Mu.m_run ~seed) in
+  let ctx what =
+    Printf.sprintf "%s (seed %d): %s" s.Mu.m_name seed what
+  in
+  match s.Mu.m_expect with
+  | Mu.Hb ->
+    Alcotest.(check bool) (ctx "hb race found") true (r.An.hb <> []);
+    Alcotest.(check (list string))
+      (ctx "lockset stays fooled — complementarity")
+      []
+      (List.map
+         (Format.asprintf "%a" Threads_analysis.Lockset.pp_race)
+         r.An.lockset)
+  | Mu.Lockset ->
+    Alcotest.(check bool) (ctx "lockset race found") true (r.An.lockset <> [])
+  | Mu.Lock_order ->
+    Alcotest.(check bool) (ctx "lock-order cycle found") true
+      (An.cycles r <> [])
+  | Mu.Clean ->
+    Alcotest.(check (list string)) (ctx "no findings") [] (An.findings r)
+
+let test_mutants () =
+  List.iter
+    (fun s -> List.iter (check_scenario s) (seeds 5))
+    Mu.all
+
+let test_mutant_reports_actionable () =
+  (* The messages must name the word, the threads and the access kinds —
+     enough to act on without re-running. *)
+  let r = An.of_machine (Mu.broken_spinlock ~seed:3) in
+  (match r.An.hb with
+  | race :: _ ->
+    let msg = Format.asprintf "%a" Threads_analysis.Hb.pp_race race in
+    Alcotest.(check bool) "names the racy word" true
+      (race.Threads_analysis.Hb.h_name = "mutant-counter");
+    List.iter
+      (fun part ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %S" part)
+          true
+          (contains msg part))
+      [ "mutant-counter"; "unordered" ]
+  | [] -> Alcotest.fail "broken spinlock not flagged");
+  let r = An.of_machine (Mu.lock_inversion ~seed:3) in
+  match An.cycles r with
+  | cycle :: _ ->
+    Alcotest.(check int) "binary deadlock cycle" 2 (List.length cycle);
+    let msg =
+      Format.asprintf "%a"
+        (Threads_analysis.Lockorder.pp_cycle ~lock_name:r.An.lock_name)
+        cycle
+    in
+    Alcotest.(check bool) "cycle names mutexes" true
+      (contains msg "mutex#")
+  | [] -> Alcotest.fail "lock inversion not flagged"
+
+(* --- clean backends stay silent --- *)
+
+let instrumented name =
+  let b = Option.get (Bk.find name) in
+  match b.Bk.instrument with
+  | Bk.Machine_access f -> (b, f)
+  | _ -> Alcotest.fail (name ^ ": expected a machine-access instrument")
+
+let test_clean_backends () =
+  List.iter
+    (fun bname ->
+      let b, f = instrumented bname in
+      List.iter
+        (fun (wl : Wl.t) ->
+          if Bk.supports b wl then
+            List.iter
+              (fun seed ->
+                let _, machine = f ~seed wl in
+                let r = An.of_machine machine in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "%s/%s seed %d silent" bname wl.Wl.name seed)
+                  [] (An.findings r))
+              (seeds 20))
+        Wl.all)
+    [ "sim"; "uniproc" ]
+
+let test_multicore_lock_order () =
+  let b = Option.get (Bk.find "multicore") in
+  let f =
+    match b.Bk.instrument with
+    | Bk.Lock_trace f -> f
+    | _ -> Alcotest.fail "multicore: expected a lock-trace instrument"
+  in
+  List.iter
+    (fun wname ->
+      let wl = Option.get (Wl.find wname) in
+      let _, events = f ~seed:1 wl in
+      let r = An.of_lock_events events in
+      Alcotest.(check bool)
+        (Printf.sprintf "multicore/%s lock order acyclic" wname)
+        true (An.clean r))
+    [ "mutex"; "condvar"; "broadcast" ]
+
+(* --- recording identity --- *)
+
+let test_recording_identity () =
+  (* Instrumented and plain runs of the same (backend, workload, seed)
+     must agree on step count, observable and the full linearized trace:
+     recording is host-side bookkeeping, never an instruction. *)
+  List.iter
+    (fun bname ->
+      let b, f = instrumented bname in
+      List.iter
+        (fun (wl : Wl.t) ->
+          List.iter
+            (fun seed ->
+              let plain = b.Bk.run ~seed wl in
+              let rec_outcome, machine = f ~seed wl in
+              let ctx what =
+                Printf.sprintf "%s/%s seed %d: %s" bname wl.Wl.name seed what
+              in
+              Alcotest.(check bool) (ctx "recording was on") true
+                (M.recording machine && M.access_count machine > 0);
+              Alcotest.(check (option int))
+                (ctx "same step count") plain.Bk.steps rec_outcome.Bk.steps;
+              Alcotest.(check (option string))
+                (ctx "same observable") plain.Bk.observable
+                rec_outcome.Bk.observable;
+              Alcotest.(check (list string))
+                (ctx "same trace")
+                (List.map Spec_trace.event_to_string plain.Bk.trace)
+                (List.map Spec_trace.event_to_string rec_outcome.Bk.trace))
+            (seeds 5))
+        [ Option.get (Wl.find "mutex"); Option.get (Wl.find "condvar") ])
+    [ "sim"; "uniproc" ]
+
+(* --- held-lock bookkeeping --- *)
+
+let test_held_locks_balanced () =
+  (* Every lock acquisition in the stream must be matched: at the end of a
+     completed run no access should have been recorded, on any backend,
+     with a held set that was never released (the last accesses of each
+     thread run outside all critical sections in these workloads). *)
+  let _, machine = (snd (instrumented "sim")) ~seed:11 (Option.get (Wl.find "mutex")) in
+  let per_thread = Hashtbl.create 8 in
+  List.iter
+    (fun (a : M.access) -> Hashtbl.replace per_thread a.a_tid a.a_locks)
+    (M.accesses machine);
+  Hashtbl.iter
+    (fun tid locks ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "t%d ends with empty held set" tid)
+        [] locks)
+    per_thread
+
+(* --- the spec linter --- *)
+
+let test_linter_accepts_threads_spec () =
+  let iface =
+    Spec_core.Parser.interface_of_string Spec_core.Threads_interface.source
+  in
+  let findings = Lint.lint iface in
+  Alcotest.(check (list string))
+    "no errors on the shipped spec" []
+    (List.map
+       (Format.asprintf "%a" Lint.pp_finding)
+       (Lint.errors findings))
+
+let lint_errors_of src =
+  Lint.errors (Lint.lint (Spec_core.Parser.interface_of_string src))
+
+let test_linter_rejects_dead_when () =
+  let errs =
+    lint_errors_of
+      "INTERFACE Bad\n\
+       TYPE Mutex = Thread INITIALLY NIL\n\
+       ATOMIC PROCEDURE Acquire(VAR m: Mutex)\n\
+       MODIFIES AT MOST [m]\n\
+       RETURNS\n\
+       WHEN m = NIL & ~(m = NIL)\n\
+       ENSURES m_post = SELF\n"
+  in
+  Alcotest.(check bool) "dead WHEN reported" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         contains f.Lint.f_msg "never satisfiable")
+       errs)
+
+let test_linter_rejects_unsatisfiable_ensures () =
+  let errs =
+    lint_errors_of
+      "INTERFACE Bad\n\
+       TYPE Mutex = Thread INITIALLY NIL\n\
+       ATOMIC PROCEDURE Acquire(VAR m: Mutex)\n\
+       MODIFIES AT MOST [m]\n\
+       RETURNS\n\
+       WHEN m = NIL\n\
+       ENSURES m_post = SELF & ~(m_post = SELF)\n"
+  in
+  Alcotest.(check bool) "unimplementable ENSURES reported" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         contains f.Lint.f_msg "no post state")
+       errs)
+
+let test_linter_rejects_ensures_outside_modifies () =
+  (* ENSURES constrains m_post but no MODIFIES clause names m: a
+     well-formedness violation, reported before any clause checking. *)
+  let errs =
+    lint_errors_of
+      "INTERFACE Bad\n\
+       TYPE Mutex = Thread INITIALLY NIL\n\
+       ATOMIC PROCEDURE Acquire(VAR m: Mutex)\n\
+       RETURNS\n\
+       WHEN m = NIL\n\
+       ENSURES m_post = SELF\n"
+  in
+  Alcotest.(check bool) "ENSURES outside MODIFIES reported" true (errs <> [])
+
+let test_linter_warns_unconstrained_modifies () =
+  let findings =
+    Lint.lint
+      (Spec_core.Parser.interface_of_string
+         "INTERFACE Odd\n\
+          TYPE Mutex = Thread INITIALLY NIL\n\
+          ATOMIC PROCEDURE Poke(VAR m: Mutex)\n\
+          MODIFIES AT MOST [m]\n\
+          RETURNS\n\
+          ENSURES TRUE\n")
+  in
+  Alcotest.(check bool) "no errors" true (Lint.errors findings = []);
+  Alcotest.(check bool) "warning about unconstrained m" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         f.Lint.f_severity = Lint.Warning
+         && contains f.Lint.f_msg "no ENSURES constrains")
+       findings)
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "mutants caught across seeds" `Slow test_mutants;
+      Alcotest.test_case "mutant reports are actionable" `Quick
+        test_mutant_reports_actionable;
+      Alcotest.test_case "clean backends silent across 20 seeds" `Slow
+        test_clean_backends;
+      Alcotest.test_case "multicore lock order acyclic" `Slow
+        test_multicore_lock_order;
+      Alcotest.test_case "recording leaves runs identical" `Slow
+        test_recording_identity;
+      Alcotest.test_case "held-lock sets balance" `Quick
+        test_held_locks_balanced;
+      Alcotest.test_case "linter accepts the Threads spec" `Quick
+        test_linter_accepts_threads_spec;
+      Alcotest.test_case "linter rejects a dead WHEN" `Quick
+        test_linter_rejects_dead_when;
+      Alcotest.test_case "linter rejects unsatisfiable ENSURES" `Quick
+        test_linter_rejects_unsatisfiable_ensures;
+      Alcotest.test_case "linter rejects ENSURES outside MODIFIES" `Quick
+        test_linter_rejects_ensures_outside_modifies;
+      Alcotest.test_case "linter warns on unconstrained MODIFIES" `Quick
+        test_linter_warns_unconstrained_modifies;
+    ] )

@@ -39,4 +39,5 @@ let () =
       Test_failures.suite;
       Test_multicore.suite;
       Test_cross_backend.suite;
+      Test_analysis.suite;
     ]
