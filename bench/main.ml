@@ -204,18 +204,142 @@ let analysis_pass =
     (Staged.stage (fun () ->
          ignore (Threads_analysis.Analysis.of_machine machine)))
 
-let benchmark tests =
+let benchmark ~quick tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
+  let limit, quota = if quick then (200, 0.05) else (2000, 0.5) in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    Benchmark.cfg ~limit ~quota:(Time.second quota) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
+(* Deterministic simulated-cycle counts for the simulator-shaped arms,
+   measured once outside the timing loop: the same seed gives the same
+   schedule, so these are stable across hosts and runs — the trajectory
+   CI tracks, next to the host-dependent ns figures. *)
+let arm_sim_cycles =
+  let cycles_of (report : Firefly.Interleave.report) =
+    Firefly.Machine.total_cycles report.Firefly.Interleave.machine
+  in
+  let api_cycles ?processors ~seed body =
+    match processors with
+    | None -> cycles_of (Taos_threads.Api.run ~seed body)
+    | Some p ->
+      let r = Taos_threads.Api.run_timed ~processors:p ~seed body in
+      Firefly.Machine.total_cycles r.Firefly.Timed.machine
+  in
+  let sim_pairs sync =
+    let module Sy =
+      (val sync : Taos_threads.Sync_intf.SYNC with type thread = Threads_util.Tid.t)
+    in
+    let m = Sy.mutex () in
+    for _ = 1 to 100 do
+      Sy.acquire m;
+      Sy.release m
+    done
+  in
+  let e2_body sync =
+    let module Sy =
+      (val sync : Taos_threads.Sync_intf.SYNC with type thread = Threads_util.Tid.t)
+    in
+    let m = Sy.mutex () in
+    let worker () =
+      for _ = 1 to 50 do
+        Sy.acquire m;
+        Firefly.Machine.Ops.tick 10;
+        Sy.release m
+      done
+    in
+    let ts = List.init 4 (fun _ -> Sy.fork worker) in
+    List.iter Sy.join ts
+  in
+  (* Same body as wake_run, run once outside the timing loop for its
+     deterministic cycle count. *)
+  let wake_cycles ~broadcast =
+    api_cycles ~seed:3 (fun sync ->
+        let module Sy =
+          (val sync : Taos_threads.Sync_intf.SYNC
+             with type thread = Threads_util.Tid.t)
+        in
+        let m = Sy.mutex () in
+        let c = Sy.condition () in
+        let flag = ref false in
+        let waiter () =
+          Sy.with_lock m (fun () ->
+              while not !flag do
+                Sy.wait m c
+              done)
+        in
+        let ws = List.init 8 (fun _ -> Sy.fork waiter) in
+        Sy.with_lock m (fun () -> flag := true);
+        if broadcast then Sy.broadcast c
+        else begin
+          for _ = 1 to 8 do
+            Sy.signal c
+          done;
+          Sy.broadcast c
+        end;
+        List.iter Sy.join ws)
+  in
+  let analysis_cycles =
+    let _, machine = analysis_instrument ~seed:7 analysis_workload in
+    Firefly.Machine.total_cycles machine
+  in
+  [
+    ("e1/sim 100 pairs (full machine)", api_cycles ~seed:1 sim_pairs);
+    ("e2/timed sim, 4 threads x 50 ops, 5 cpus",
+     api_cycles ~processors:5 ~seed:7 e2_body);
+    ("e3/drain 8 waiters with signals", wake_cycles ~broadcast:false);
+    ("e3/drain 8 waiters with broadcast", wake_cycles ~broadcast:true);
+    ("analysis/sim mutex, recording off", analysis_cycles);
+    ("analysis/sim mutex, recording on", analysis_cycles);
+    (Printf.sprintf "analysis/analyze %d-access stream"
+       (let _, machine = analysis_instrument ~seed:7 analysis_workload in
+        Firefly.Machine.access_count machine),
+     analysis_cycles);
+  ]
+
+(* Strip the Bechamel group prefix ("threads-repro/") for stable keys. *)
+let arm_key name =
+  match String.index_opt name '/' with
+  | Some i when String.sub name 0 i = "threads-repro" ->
+    String.sub name (i + 1) (String.length name - i - 1)
+  | _ -> name
+
+let bench_json ~quick rows =
+  let open Obs.Json in
+  let record (name, ns) =
+    let key = arm_key name in
+    Obj
+      [
+        ("name", String key);
+        ("host_us_per_run", match ns with Some v -> Float (v /. 1000.) | None -> Null);
+        ( "sim_cycles",
+          match List.assoc_opt key arm_sim_cycles with
+          | Some c -> Int c
+          | None -> Null );
+      ]
+  in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("quick", Bool quick);
+      ("benchmarks", Arr (List.map record rows));
+    ]
+
+let write_bench_json ~quick rows =
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc = open_out "results/BENCH.json" in
+  output_string oc (Obs.Json.to_string (bench_json ~quick rows));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote results/BENCH.json"
+
 let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
   let tests =
     Test.make_grouped ~name:"threads-repro"
       [
@@ -234,19 +358,24 @@ let () =
         analysis_pass;
       ]
   in
-  let results = benchmark tests in
+  let results = benchmark ~quick tests in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "%-55s %15s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 72 '-');
-  List.iter
-    (fun (name, ols) ->
-      let ns =
-        match Analyze.OLS.estimates ols with
-        | Some (x :: _) -> Printf.sprintf "%.1f" x
-        | _ -> "n/a"
-      in
-      Printf.printf "%-55s %15s\n" name ns)
-    rows;
+  let measured =
+    List.map
+      (fun (name, ols) ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> Some x
+          | _ -> None
+        in
+        Printf.printf "%-55s %15s\n" name
+          (match ns with Some x -> Printf.sprintf "%.1f" x | None -> "n/a");
+        (name, ns))
+      rows
+  in
+  write_bench_json ~quick measured;
   print_endline
     "\n(ns per run; full experiment tables: dune exec bin/repro.exe -- all)"

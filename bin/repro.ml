@@ -113,6 +113,21 @@ let thread_names (snap : Obs.Instrument.snapshot) =
     (List.map (fun (s : Obs.Instrument.span) -> s.track) snap.spans)
   |> List.map (fun track -> (track, Printf.sprintf "t%d" track))
 
+(* Write [s] to FILE, or stdout when FILE is "-". *)
+let write_out ~out s =
+  if out = "-" then print_string s
+  else begin
+    let oc =
+      try open_out out
+      with Sys_error e ->
+        Printf.eprintf "cannot write %s: %s\n" out e;
+        exit 1
+    in
+    output_string oc s;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes)\n" out (String.length s)
+  end
+
 let list_cmd =
   let run () =
     setup ();
@@ -168,14 +183,33 @@ let spec_cmd =
 
 let metrics_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
-  let run seed = Obs.Report.print (demo_snapshot ~seed) in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of stdout")
+  in
+  let run seed format out =
+    let snap = demo_snapshot ~seed in
+    match format with
+    | `Table -> write_out ~out (Obs.Report.render snap)
+    | `Json -> write_out ~out (Obs.Json.to_string (Obs.Report.to_json snap) ^ "\n")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run the deterministic demo workload and print the per-object \
           observability report (fast-path rates, counters, high-water \
-          gauges, cycle histograms, span aggregates)")
-    Term.(const run $ seed)
+          gauges, cycle histograms, span aggregates); --format=json \
+          --out=FILE emits the same report machine-readably")
+    Term.(const run $ seed $ format $ out)
 
 let trace_cmd =
   let seed =
@@ -471,7 +505,22 @@ let filtered_findings filter (r : An.report) =
   | Races_only -> races
   | Lock_order_only -> cycles
 
-let analyze_mutants filter seed =
+let analyze_report_json name (r : An.report) extra findings =
+  let open Obs.Json in
+  Obj
+    ([
+       ("name", String name);
+       ("accesses", Int r.An.n_accesses);
+       ("data_words", Int r.An.n_data_words);
+       ("exempt_words", Int r.An.n_exempt_words);
+       ("lockset_races", Int (List.length r.An.lockset));
+       ("hb_races", Int (List.length r.An.hb));
+       ("lock_order_cycles", Int (List.length (An.cycles r)));
+     ]
+    @ extra
+    @ [ ("findings", Arr (List.map (fun s -> String s) findings)) ])
+
+let analyze_mutants filter seed ~format ~out =
   let t =
     Threads_util.Table.create
       ~aligns:[ Threads_util.Table.Left; Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Right;
@@ -482,6 +531,7 @@ let analyze_mutants filter seed =
   in
   let failures = ref [] in
   let details = ref [] in
+  let records = ref [] in
   List.iter
     (fun (s : Mu.scenario) ->
       let r = An.of_machine (s.Mu.m_run ~seed) in
@@ -503,19 +553,37 @@ let analyze_mutants filter seed =
         List.map (Printf.sprintf "  [%s] %s" s.Mu.m_name)
           (filtered_findings filter r)
         :: !details;
+      records :=
+        analyze_report_json s.Mu.m_name r
+          [ ("expected", Obs.Json.String expected);
+            ("caught", Obs.Json.Bool caught) ]
+          (filtered_findings filter r)
+        :: !records;
       Threads_util.Table.add_row t
         (report_summary_row s.Mu.m_name r
            (Printf.sprintf "%s %s" expected (if caught then "(caught)" else "(MISSED)"))))
     Mu.all;
-  Threads_util.Table.print t;
-  List.iter (List.iter print_endline) (List.rev !details);
+  (match format with
+  | `Json ->
+    write_out ~out
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [ ("schema_version", Obs.Json.Int 1);
+              ("seed", Obs.Json.Int seed);
+              ("scenarios", Obs.Json.Arr (List.rev !records)) ])
+      ^ "\n")
+  | `Table ->
+    Threads_util.Table.print t;
+    List.iter (List.iter print_endline) (List.rev !details));
   match List.rev !failures with
-  | [] -> print_endline "all mutants caught by their intended detector"
+  | [] ->
+    if format = `Table then
+      print_endline "all mutants caught by their intended detector"
   | fs ->
-    List.iter (fun f -> Printf.printf "FAIL: %s\n" f) fs;
+    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
     exit 1
 
-let analyze_backend filter backend workload seed =
+let analyze_backend filter backend workload seed ~format ~out =
   let b =
     match Bk.find backend with
     | Some b -> b
@@ -535,38 +603,66 @@ let analyze_backend filter backend workload seed =
         "cycles"; "verdict" ]
   in
   let findings = ref [] in
+  let records = ref [] in
+  let skipped_record name status =
+    Obs.Json.Obj
+      [ ("name", Obs.Json.String name); ("status", Obs.Json.String status) ]
+  in
   List.iter
     (fun (wl : Wl.t) ->
       if Bk.supports b wl then begin
         let res = An.run_backend b ~seed wl in
         match res.An.br_report with
         | None ->
+          records := skipped_record wl.Wl.name "uninstrumented" :: !records;
           Threads_util.Table.add_row t
             [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "uninstrumented" ]
         | Some r ->
+          let verdict =
+            Format.asprintf "%a" Bk.pp_verdict res.An.br_outcome.Bk.verdict
+          in
           findings :=
             List.map (Printf.sprintf "  [%s] %s" wl.Wl.name)
               (filtered_findings filter r)
             :: !findings;
+          records :=
+            analyze_report_json wl.Wl.name r
+              [ ("verdict", Obs.Json.String verdict) ]
+              (filtered_findings filter r)
+            :: !records;
           Threads_util.Table.add_row t
-            (report_summary_row wl.Wl.name r
-               (Format.asprintf "%a" Bk.pp_verdict res.An.br_outcome.Bk.verdict))
+            (report_summary_row wl.Wl.name r verdict)
       end
-      else
+      else begin
+        records := skipped_record wl.Wl.name "skipped" :: !records;
         Threads_util.Table.add_row t
-          [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "skipped" ])
+          [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "skipped" ]
+      end)
     (resolve_workloads workload);
-  Threads_util.Table.print t;
   let findings = List.concat (List.rev !findings) in
-  List.iter print_endline findings;
-  if findings = [] then print_endline "no findings"
-  else if b.Bk.conforming then begin
-    Printf.printf "FAIL: conforming backend %s has findings\n" b.Bk.name;
-    exit 1
+  (match format with
+  | `Json ->
+    write_out ~out
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [ ("schema_version", Obs.Json.Int 1);
+              ("backend", Obs.Json.String b.Bk.name);
+              ("seed", Obs.Json.Int seed);
+              ("workloads", Obs.Json.Arr (List.rev !records)) ])
+      ^ "\n")
+  | `Table ->
+    Threads_util.Table.print t;
+    List.iter print_endline findings;
+    if findings = [] then print_endline "no findings");
+  if findings <> [] then begin
+    if b.Bk.conforming then begin
+      Printf.eprintf "FAIL: conforming backend %s has findings\n" b.Bk.name;
+      exit 1
+    end
+    else if format = `Table then
+      print_endline
+        "(findings on a non-conforming baseline are expected divergence)"
   end
-  else
-    print_endline
-      "(findings on a non-conforming baseline are expected divergence)"
 
 let analyze_cmd =
   let backend =
@@ -593,7 +689,20 @@ let analyze_cmd =
     Arg.(value & flag & info [ "lock-order" ]
            ~doc:"Report lock-order cycles only")
   in
-  let run backend workload seed mutants races lock_order =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON report to $(docv) instead of stdout")
+  in
+  let run backend workload seed mutants races lock_order format out =
     setup ();
     let filter =
       match (races, lock_order) with
@@ -601,8 +710,8 @@ let analyze_cmd =
       | false, true -> Lock_order_only
       | _ -> All
     in
-    if mutants then analyze_mutants filter seed
-    else analyze_backend filter backend workload seed
+    if mutants then analyze_mutants filter seed ~format ~out
+    else analyze_backend filter backend workload seed ~format ~out
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -612,8 +721,104 @@ let analyze_cmd =
           vector-clock happens-before race detection plus lock-order \
           (deadlock-potential) cycle detection.  Non-zero exit if a \
           conforming backend yields findings.  With $(b,--mutants), \
-          validate the analyzers against seeded bugs instead")
-    Term.(const run $ backend $ workload $ seed $ mutants $ races $ lock_order)
+          validate the analyzers against seeded bugs instead.  \
+          $(b,--format=json --out=FILE) emits the report machine-readably")
+    Term.(
+      const run $ backend $ workload $ seed $ mutants $ races $ lock_order
+      $ format $ out)
+
+(* ---- causal profiler ---- *)
+
+module Pf = Threads_profile.Profile
+
+let profile_cmd =
+  let backend =
+    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"B"
+           ~doc:"Backend to profile (sim, uniproc, naive, hoare)")
+  in
+  let workload =
+    Arg.(value & opt string "mutex" & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload name (mutex, condvar, semaphore, alert, broadcast)")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("table", `Table); ("folded", `Folded); ("chrome", `Chrome);
+               ("json", `Json) ])
+          `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "$(docv) is $(b,table) (critical path, per-object attribution, \
+             top blockers, wait decomposition), $(b,folded) (flamegraph \
+             folded stacks), $(b,chrome) (trace-event JSON with per-state \
+             thread tracks and a critical-path track) or $(b,json) \
+             (structured report)")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the output to $(docv) instead of stdout")
+  in
+  let run backend workload seed format out =
+    let b =
+      match Bk.find backend with
+      | Some b -> b
+      | None ->
+        Printf.eprintf "unknown backend %s; available: %s\n" backend
+          (String.concat ", " (Bk.names ()));
+        exit 1
+    in
+    let wl =
+      match Wl.find workload with
+      | Some w -> w
+      | None ->
+        Printf.eprintf "unknown workload %s; available: %s\n" workload
+          (String.concat ", " (Wl.names ()));
+        exit 1
+    in
+    if not (Bk.supports b wl) then begin
+      Printf.eprintf "backend %s lacks a feature workload %s needs\n"
+        b.Bk.name wl.Wl.name;
+      exit 1
+    end;
+    match b.Bk.profile with
+    | None ->
+      Printf.eprintf
+        "backend %s is not profilable (no simulator machine to observe)\n"
+        b.Bk.name;
+      exit 1
+    | Some profiled_run ->
+      let outcome, machine = profiled_run ~seed wl in
+      let p = Pf.of_machine machine in
+      let s =
+        match format with
+        | `Table ->
+          Printf.sprintf "backend %s, workload %s, seed %d: %s\n\n" b.Bk.name
+            wl.Wl.name seed
+            (Format.asprintf "%a" Bk.pp_verdict outcome.Bk.verdict)
+          ^ Pf.render p
+        | `Folded -> Pf.folded p
+        | `Chrome -> Pf.chrome p
+        | `Json -> Obs.Json.to_string (Pf.to_json p) ^ "\n"
+      in
+      write_out ~out s
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload under the causal profiler: reconstruct every \
+          thread's running / spin / runnable / blocked timeline from the \
+          zero-sim-cost probe stream, extract the blocking-chain critical \
+          path (whose step durations tile the makespan exactly), attribute \
+          it per object, rank the top blockers, and report wait-for \
+          forensics (deadlock cycles, threads still blocked at exit).  \
+          Profiled runs are cycle- and schedule-identical to unprofiled \
+          ones")
+    Term.(const run $ backend $ workload $ seed $ format $ out)
 
 let lint_spec_cmd =
   let file =
@@ -685,4 +890,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd;
-            conform_cmd; diff_cmd; analyze_cmd; lint_spec_cmd ]))
+            conform_cmd; diff_cmd; analyze_cmd; profile_cmd; lint_spec_cmd ]))

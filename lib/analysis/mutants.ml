@@ -37,6 +37,7 @@ let sim_run ~seed body =
       ~seed ~max_steps:500_000
       (fun machine ->
         M.set_recording machine true;
+        M.set_profiling machine true;
         ignore (M.spawn_root machine body))
   in
   report.Firefly.Interleave.machine

@@ -26,6 +26,9 @@ type t = {
   supports : Workload.feature list;
   run : seed:int -> Workload.t -> outcome;
   instrument : instrument;
+  profile : (seed:int -> Workload.t -> outcome * Firefly.Machine.t) option;
+      (** causal-profiled run (same seeds and schedules as [run]);
+          [None] for hardware backends with no machine *)
 }
 
 let supports b (wl : Workload.t) =
@@ -64,11 +67,13 @@ let max_steps = 2_000_000
    identical with recording on or off — recording is host-side machine
    bookkeeping, never an effect — so the [run] and [Machine_access] entry
    points of a backend see the same schedules for the same seed. *)
-let machine_run ?strategy ~record ~seed build (wl : Workload.t) =
+let machine_run ?strategy ?(profile = false) ~record ~seed build
+    (wl : Workload.t) =
   let observable = ref None in
   let report =
     Firefly.Interleave.run ?strategy ~seed ~max_steps (fun machine ->
         if record then Firefly.Machine.set_recording machine true;
+        if profile then Firefly.Machine.set_profiling machine true;
         ignore
           (Firefly.Machine.spawn_root machine (fun () ->
                observable := Some (wl.body (build ())))))
@@ -233,6 +238,10 @@ let all =
       run = sim_run;
       instrument =
         Machine_access (fun ~seed wl -> machine_run ~record:true ~seed taos_build wl);
+      profile =
+        Some
+          (fun ~seed wl ->
+            machine_run ~profile:true ~record:false ~seed taos_build wl);
     };
     {
       name = "uniproc";
@@ -247,6 +256,12 @@ let all =
             machine_run
               ~strategy:(Firefly.Sched.random seed)
               ~record:true ~seed uniproc_build wl);
+      profile =
+        Some
+          (fun ~seed wl ->
+            machine_run
+              ~strategy:(Firefly.Sched.random seed)
+              ~profile:true ~record:false ~seed uniproc_build wl);
     };
     {
       name = "naive";
@@ -258,6 +273,10 @@ let all =
       instrument =
         Machine_access
           (fun ~seed wl -> machine_run ~record:true ~seed naive_build wl);
+      profile =
+        Some
+          (fun ~seed wl ->
+            machine_run ~profile:true ~record:false ~seed naive_build wl);
     };
     {
       name = "hoare";
@@ -269,6 +288,10 @@ let all =
       instrument =
         Machine_access
           (fun ~seed wl -> machine_run ~record:true ~seed hoare_build wl);
+      profile =
+        Some
+          (fun ~seed wl ->
+            machine_run ~profile:true ~record:false ~seed hoare_build wl);
     };
     {
       name = "multicore";
@@ -278,6 +301,7 @@ let all =
       supports = [ Workload.Alerts ];
       run = multicore_run;
       instrument = Lock_trace multicore_lock_run;
+      profile = None;
     };
   ]
 

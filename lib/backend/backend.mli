@@ -51,6 +51,11 @@ type t = {
   supports : Workload.feature list;
   run : seed:int -> Workload.t -> outcome;
   instrument : instrument;
+  profile : (seed:int -> Workload.t -> outcome * Firefly.Machine.t) option;
+      (** causal-profiled run for [lib/profile]: same seeds and schedules
+          as [run] (the profile stream is host-side machine bookkeeping,
+          not an instruction); [None] for hardware backends, which have
+          no machine to profile *)
 }
 
 (** [supports b w] — does [b] provide every feature [w] needs? *)

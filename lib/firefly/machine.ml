@@ -40,6 +40,38 @@ type access = {
   a_locks : int list;  (** lock ids held (for [A_lock_acq]: before acquiring) *)
 }
 
+(* ---- causal profiling stream (lib/profile) ----
+
+   When profiling is on, the machine appends one [prof_event] per causal
+   edge: merged run segments (cycles a thread actually consumed), block
+   edges annotated with the object waited on and its owner at that
+   instant, wake edges annotated with the waker and the object handed
+   off, spawn/finish lifecycle points, and wakeup-waiting arms.  Like the
+   access stream this is host-side bookkeeping only: no cycles, no
+   scheduling points, no randomness — a profiled run is cycle- and
+   schedule-identical to an unprofiled one. *)
+
+type wait_target =
+  | On_obj of int  (** mutex / condition / semaphore id *)
+  | On_thread of Tid.t  (** join *)
+  | On_unknown  (** deschedule with no package annotation *)
+
+type prof_kind =
+  | Pr_run of int  (** merged run segment [pr_t, arg] of charged cycles *)
+  | Pr_spawn of Tid.t  (** [pr_tid] spawned the child *)
+  | Pr_block of wait_target * Tid.t option  (** what, owner at block *)
+  | Pr_wake of Tid.t option * int option  (** waker, object handed off *)
+  | Pr_wake_pending of Tid.t option * int option
+      (** wakeup-waiting arm: the target was still runnable *)
+  | Pr_finish
+
+type prof_event = {
+  pr_seq : int;
+  pr_t : int;  (** cycle timestamp (segment start for [Pr_run]) *)
+  pr_tid : Tid.t;  (** subject thread (the woken one for wake edges) *)
+  pr_kind : prof_kind;
+}
+
 (* A memory operation bundled with trace emission; see Ops.mem_emit. *)
 type mem_op =
   | M_none
@@ -128,6 +160,14 @@ type t = {
   mutable acc_count : int;
   words : (int, word_kind * string) Hashtbl.t;  (* addr -> classification *)
   lock_names : (int, string) Hashtbl.t;  (* lock id -> name, for reports *)
+  mutable profiling : bool;
+  mutable prof : prof_event list;  (* newest first; [prof_events] reverses *)
+  mutable prof_count : int;
+  owners : (int, Tid.t) Hashtbl.t;  (* lock id -> current holder *)
+  pending_block : (Tid.t, wait_target) Hashtbl.t;
+      (* set by Probe.will_block, consumed at the next deschedule *)
+  pending_wake : (Tid.t, int) Hashtbl.t;
+      (* target -> object id, set by Probe.handoff, consumed at the wake *)
 }
 
 (* The machine whose thread is currently inside [step], with that thread's
@@ -170,6 +210,12 @@ let create ?(seed = 0) ?(cost = Cost.default) () =
     acc_count = 0;
     words = Hashtbl.create 16;
     lock_names = Hashtbl.create 16;
+    profiling = false;
+    prof = [];
+    prof_count = 0;
+    owners = Hashtbl.create 16;
+    pending_block = Hashtbl.create 8;
+    pending_wake = Hashtbl.create 8;
   }
 
 let thread m tid =
@@ -256,11 +302,55 @@ let rec remove_first x = function
   | [] -> []
   | y :: rest -> if x = y then rest else y :: remove_first x rest
 
+(* ---- profiling-stream recorders (host-side, zero simulated cost) ---- *)
+
+let prof_push m tid ~t kind =
+  if m.profiling then begin
+    m.prof <- { pr_seq = m.prof_count; pr_t = t; pr_tid = tid; pr_kind = kind }
+      :: m.prof;
+    m.prof_count <- m.prof_count + 1
+  end
+
+(* Run segments merge with the immediately preceding segment of the same
+   thread when they abut, so a burst of consecutive steps costs one entry.
+   Zero-cost steps add nothing. *)
+let prof_run m tid ~t0 ~t1 =
+  if m.profiling && t1 > t0 then
+    match m.prof with
+    | ({ pr_tid; pr_kind = Pr_run e; _ } as h) :: rest
+      when pr_tid = tid && e = t0 ->
+      m.prof <- { h with pr_kind = Pr_run t1 } :: rest
+    | _ -> prof_push m tid ~t:t0 (Pr_run t1)
+
+(* The blocking thread's pending annotation (set by Probe.will_block),
+   resolved to (target, owner at this instant).  Always consumed, even on
+   the paths that end up not blocking. *)
+let prof_take_block_reason m tid =
+  match Hashtbl.find_opt m.pending_block tid with
+  | Some (On_obj o) ->
+    Hashtbl.remove m.pending_block tid;
+    (On_obj o, Hashtbl.find_opt m.owners o)
+  | Some w ->
+    Hashtbl.remove m.pending_block tid;
+    (w, None)
+  | None -> (On_unknown, None)
+
+let prof_waker m =
+  match !current with
+  | Some (m', w) when m' == m -> Some w
+  | _ -> None
+
 let wake m tid =
   let t = thread m tid in
+  let wake_obj () =
+    let obj = Hashtbl.find_opt m.pending_wake tid in
+    Hashtbl.remove m.pending_wake tid;
+    obj
+  in
   match t.status with
   | Blocked ->
     t.status <- Runnable;
+    prof_push m tid ~t:m.total_cycles (Pr_wake (prof_waker m, wake_obj ()));
     Obs.Instrument.incr m.obs "machine.wakes" 1;
     ignore
       (Obs.Instrument.span_end m.obs ~track:tid "blocked" ~now:m.total_cycles)
@@ -271,6 +361,8 @@ let wake m tid =
        hits this path (it only readies threads found descheduled under the
        spin-lock); the cooperative backend relies on it. *)
     t.wakeup_pending <- true;
+    prof_push m tid ~t:m.total_cycles
+      (Pr_wake_pending (prof_waker m, wake_obj ()));
     Obs.Instrument.incr m.obs "machine.wakeup_waiting_arms" 1
   | Finished | Failed _ ->
     failwith (Printf.sprintf "Machine.ready: t%d already finished" tid)
@@ -278,6 +370,7 @@ let wake m tid =
 let finish m t st =
   t.status <- st;
   t.paused <- Gone;
+  prof_push m t.tid ~t:m.total_cycles Pr_finish;
   (* Record the join edge at the moment it takes effect: each joiner's
      subsequent execution happens after everything [t] did. *)
   List.iter
@@ -374,6 +467,7 @@ let execute_effect (type a) m t (eff : a Effect.t)
   | E_spawn (f, prio) ->
     let tid = add_thread m ?priority:prio f in
     record m t.tid (-1) (A_spawn tid);
+    prof_push m t.tid ~t:m.total_cycles (Pr_spawn tid);
     resume m t k tid;
     0
   | E_join target ->
@@ -389,6 +483,9 @@ let execute_effect (type a) m t (eff : a Effect.t)
     | Runnable | Blocked ->
       tgt.joiners <- t.tid :: tgt.joiners;
       t.status <- Blocked;
+      ignore (prof_take_block_reason m t.tid);
+      prof_push m t.tid ~t:m.total_cycles
+        (Pr_block (On_thread target, Some target));
       Obs.Instrument.incr m.obs "machine.blocks" 1;
       Obs.Instrument.span_begin m.obs ~track:t.tid ~cat:"sched" "blocked"
         ~now:m.total_cycles;
@@ -397,19 +494,27 @@ let execute_effect (type a) m t (eff : a Effect.t)
       t.paused <- Resume_unit k;
       0)
   | E_deschedule_and_clear a ->
+    let release_held () =
+      if List.mem a t.held then begin
+        t.held <- remove_first a t.held;
+        (match Hashtbl.find_opt m.owners a with
+        | Some owner when owner = t.tid -> Hashtbl.remove m.owners a
+        | _ -> ());
+        record m t.tid a A_lock_rel
+      end
+    in
     if t.intr then begin
       (* An interrupt routine may not block; it dies without releasing the
          spin-lock, which is exactly the disaster the paper warns about. *)
+      ignore (prof_take_block_reason m t.tid);
       finish m t (Failed (Failure "interrupt routine attempted to block"));
       charge ~instr:true c.write
     end
     else if t.wakeup_pending then begin
       t.wakeup_pending <- false;
+      ignore (prof_take_block_reason m t.tid);
       m.mem.(a) <- 0;
-      if List.mem a t.held then begin
-        t.held <- remove_first a t.held;
-        record m t.tid a A_lock_rel
-      end;
+      release_held ();
       record m t.tid a A_clear;
       t.paused <- Resume_unit k;
       let cost = charge ~instr:true c.write in
@@ -417,15 +522,14 @@ let execute_effect (type a) m t (eff : a Effect.t)
       cost
     end
     else begin
+      let target, owner = prof_take_block_reason m t.tid in
       m.mem.(a) <- 0;
-      if List.mem a t.held then begin
-        t.held <- remove_first a t.held;
-        record m t.tid a A_lock_rel
-      end;
+      release_held ();
       record m t.tid a A_clear;
       t.status <- Blocked;
       t.paused <- Resume_unit k;
       let cost = charge ~instr:true c.write in
+      prof_push m t.tid ~t:m.total_cycles (Pr_block (target, owner));
       Obs.Instrument.incr m.obs "machine.blocks" 1;
       Obs.Instrument.span_begin m.obs ~track:t.tid ~cat:"sched" "blocked"
         ~now:m.total_cycles;
@@ -499,20 +603,25 @@ let step m tid =
   Fun.protect
     ~finally:(fun () -> current := saved)
     (fun () ->
-      match t.paused with
-      | Fresh f ->
-        t.paused <- Gone;
-        start m t f;
-        0
-      | Resume_unit k ->
-        t.paused <- Gone;
-        resume m t k ();
-        0
-      | At_effect (eff, k) ->
-        t.paused <- Gone;
-        execute_effect m t eff k
-      | Gone ->
-        failwith (Printf.sprintf "Machine.step: t%d has no continuation" tid))
+      let t0 = m.total_cycles in
+      let cost =
+        match t.paused with
+        | Fresh f ->
+          t.paused <- Gone;
+          start m t f;
+          0
+        | Resume_unit k ->
+          t.paused <- Gone;
+          resume m t k ();
+          0
+        | At_effect (eff, k) ->
+          t.paused <- Gone;
+          execute_effect m t eff k
+        | Gone ->
+          failwith (Printf.sprintf "Machine.step: t%d has no continuation" tid)
+      in
+      prof_run m tid ~t0 ~t1:m.total_cycles;
+      cost)
 
 let trace m = Trace.Sink.events m.sink
 let sink m = m.sink
@@ -549,6 +658,14 @@ let set_recording m b = m.recording <- b
 let recording m = m.recording
 let accesses m = List.rev m.accs
 let access_count m = m.acc_count
+
+(* ---- profiling-stream accessors ---- *)
+
+let set_profiling m b = m.profiling <- b
+let profiling m = m.profiling
+let prof_events m = List.rev m.prof
+let prof_event_count m = m.prof_count
+let owner_of m obj = Hashtbl.find_opt m.owners obj
 let word_kind m a = Option.map fst (Hashtbl.find_opt m.words a)
 
 let word_name m a =
@@ -655,7 +772,8 @@ module Probe = struct
       let t = thread m tid in
       record m tid id A_lock_acq;
       (* recorded before extending [held]: a_locks = locks held on entry *)
-      t.held <- id :: t.held
+      t.held <- id :: t.held;
+      Hashtbl.replace m.owners id tid
     | None -> ()
 
   let lock_released ?tid id =
@@ -664,6 +782,9 @@ module Probe = struct
       let tid = Option.value tid ~default:cur in
       let t = thread m tid in
       t.held <- remove_first id t.held;
+      (match Hashtbl.find_opt m.owners id with
+      | Some owner when owner = tid -> Hashtbl.remove m.owners id
+      | _ -> ());
       record m tid id A_lock_rel
     | None -> ()
 
@@ -673,5 +794,28 @@ module Probe = struct
   let lock_attempted id =
     match !current with
     | Some (m, cur) -> record m cur id A_lock_att
+    | None -> ()
+
+  (* ---- causal-profiling probes (lib/profile) ----
+
+     [will_block obj] annotates the caller's imminent deschedule with the
+     synchronization object it is waiting on; the machine resolves the
+     object's owner at the instant the block commits (and discards the
+     annotation if the wakeup-waiting switch turns the deschedule into a
+     no-op).  [handoff ~obj target] annotates the next wake of [target]
+     with the object whose ownership is being handed over — called just
+     before the [Ops.ready] in Release / Signal / Broadcast / V and the
+     alert cancellation paths. *)
+
+  let will_block obj =
+    match !current with
+    | Some (m, tid) ->
+      if m.profiling then Hashtbl.replace m.pending_block tid (On_obj obj)
+    | None -> ()
+
+  let handoff ~obj target =
+    match !current with
+    | Some (m, _) ->
+      if m.profiling then Hashtbl.replace m.pending_wake target obj
     | None -> ()
 end

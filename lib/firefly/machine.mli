@@ -59,6 +59,41 @@ type access = {
   a_locks : int list;  (** lock ids held (for [A_lock_acq]: before acquiring) *)
 }
 
+(** {1 Causal profiling stream (lib/profile)}
+
+    With {!set_profiling} on, the machine appends one {!prof_event} per
+    causal edge: merged run segments (cycles a thread consumed), block
+    edges annotated by {!Probe.will_block} with the object waited on and
+    its owner at that instant, wake edges annotated by {!Probe.handoff}
+    with the waker and the object handed over, spawn/finish lifecycle
+    points, and wakeup-waiting arms.  Host-side bookkeeping only: a
+    profiled run is cycle- and schedule-identical to an unprofiled one. *)
+
+(** What a blocked thread is waiting for. *)
+type wait_target =
+  | On_obj of int  (** mutex / condition / semaphore id *)
+  | On_thread of Threads_util.Tid.t  (** join *)
+  | On_unknown  (** deschedule with no package annotation *)
+
+type prof_kind =
+  | Pr_run of int
+      (** merged run segment: the thread consumed cycles [pr_t, arg] *)
+  | Pr_spawn of Threads_util.Tid.t  (** [pr_tid] spawned the child *)
+  | Pr_block of wait_target * Threads_util.Tid.t option
+      (** blocked on [target]; owner of the object at that instant *)
+  | Pr_wake of Threads_util.Tid.t option * int option
+      (** [pr_tid] was woken by the waker, handing over the object *)
+  | Pr_wake_pending of Threads_util.Tid.t option * int option
+      (** wakeup-waiting arm: the target was still runnable *)
+  | Pr_finish
+
+type prof_event = {
+  pr_seq : int;  (** global order, dense from 0 *)
+  pr_t : int;  (** cycle timestamp (segment start for [Pr_run]) *)
+  pr_tid : Threads_util.Tid.t;  (** subject thread (the woken one for wakes) *)
+  pr_kind : prof_kind;
+}
+
 (** Memory operation for {!Ops.mem_emit}.  [M_none] is a plain store-class
     instruction with no memory visible effect (used when the action commits
     purely in package bookkeeping, e.g. Alert's pending-set insert).
@@ -210,6 +245,19 @@ module Probe : sig
       so the lock-order graph sees the attempted edge even when the
       acquisition never succeeds (the classic deadlock). *)
   val lock_attempted : int -> unit
+
+  (** {2 Causal-profiling probes (lib/profile)} *)
+
+  (** [will_block obj] annotates the caller's imminent deschedule with the
+      synchronization object it waits on; the machine resolves the
+      object's owner when the block commits.  No-op unless profiling. *)
+  val will_block : int -> unit
+
+  (** [handoff ~obj target] annotates the next wake of [target] with the
+      object whose ownership is handed over — call just before the
+      [Ops.ready] in Release / Signal / Broadcast / V and in alert
+      cancellations.  No-op unless profiling. *)
+  val handoff : obj:int -> Threads_util.Tid.t -> unit
 end
 
 (** {1 Construction and stepping (driver side)} *)
@@ -289,6 +337,23 @@ val recording : t -> bool
 val accesses : t -> access list
 
 val access_count : t -> int
+
+(** {1 Profiling stream (driver side)} *)
+
+(** Enable/disable causal-profile recording.  Off by default; switch on
+    right after {!create}, before any thread runs. *)
+val set_profiling : t -> bool -> unit
+
+val profiling : t -> bool
+
+(** Recorded profile events in [pr_seq] order (empty unless profiling). *)
+val prof_events : t -> prof_event list
+
+val prof_event_count : t -> int
+
+(** Current holder of lock/object [id], per
+    {!Probe.lock_acquired}/{!Probe.lock_released} bookkeeping. *)
+val owner_of : t -> int -> Threads_util.Tid.t option
 
 (** Classification of word [a], if registered ([None] = ordinary data). *)
 val word_kind : t -> int -> word_kind option

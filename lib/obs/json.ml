@@ -31,10 +31,29 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Shortest decimal form that parses back to exactly [x], so writing and
+   re-parsing is the identity on finite floats ("%.12g" was lossy: it
+   collapsed e.g. 0.1 +. 0.2 to "0.3").  JSON has no lexemes for the
+   non-finite values; NaN degrades to null, infinities to literals whose
+   magnitude overflows back to infinity on parse. *)
 let float_repr x =
-  if Float.is_integer x && Float.abs x < 1e15 then
-    Printf.sprintf "%.1f" x
-  else Printf.sprintf "%.12g" x
+  if x <> x then "null"
+  else if x = infinity then "1e999"
+  else if x = neg_infinity then "-1e999"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else
+    let shortest =
+      let s = Printf.sprintf "%.15g" x in
+      if float_of_string s = x then s
+      else
+        let s = Printf.sprintf "%.16g" x in
+        if float_of_string s = x then s else Printf.sprintf "%.17g" x
+    in
+    (* Large integral floats render bare ("4761259301325582"), which the
+       parser would read back as Int; keep the constructor stable. *)
+    if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) shortest
+    then shortest
+    else shortest ^ ".0"
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"

@@ -124,3 +124,55 @@ let render (snap : Instrument.snapshot) =
   Buffer.contents buf
 
 let print snap = print_string (render snap)
+
+(* Machine-readable form of the same report, for --format=json consumers:
+   every section the tables render, as one schema-versioned object. *)
+let to_json (snap : Instrument.snapshot) =
+  let open Json in
+  let summary_json (s : Stats.summary) =
+    Obj
+      [
+        ("n", Int s.n);
+        ("mean", Float s.mean);
+        ("stddev", Float s.stddev);
+        ("min", Float s.min);
+        ("max", Float s.max);
+        ("p50", Float s.p50);
+        ("p90", Float s.p90);
+        ("p99", Float s.p99);
+      ]
+  in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ( "fast_path",
+        Arr
+          (List.map
+             (fun (obj, acquires, hits) ->
+               Obj
+                 [
+                   ("object", String obj);
+                   ("acquires", Int acquires);
+                   ("fast_path_hits", Int hits);
+                 ])
+             (fast_path_rows snap.counters)) );
+      ( "counters",
+        Obj (List.map (fun (name, v) -> (name, Int v)) snap.counters) );
+      ("gauges", Obj (List.map (fun (name, v) -> (name, Int v)) snap.gauges));
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (name, s) -> (name, summary_json s))
+             snap.histograms) );
+      ( "spans",
+        Arr
+          (List.map
+             (fun (name, count, total) ->
+               Obj
+                 [
+                   ("name", String name);
+                   ("count", Int count);
+                   ("total_cycles", Int total);
+                 ])
+             (span_rows snap.spans)) );
+    ]

@@ -6,3 +6,8 @@
 
 val render : Instrument.snapshot -> string
 val print : Instrument.snapshot -> unit
+
+(** The same report as a schema-versioned JSON object (schema_version 1):
+    fast-path rates, counters, gauges, histogram summaries and span
+    aggregates — for [--format=json] consumers. *)
+val to_json : Instrument.snapshot -> Json.t

@@ -1,0 +1,121 @@
+module M = Firefly.Machine
+module Tid = Threads_util.Tid
+
+(* How a critical-path step begins: the causal event that made its
+   thread the one gating progress at that instant. *)
+type entry =
+  | Woken of { waker : Tid.t option; obj : int option }
+      (* a wake edge: the previous step's thread readied this one,
+         handing over [obj] (mutex release / Signal / V / alert) *)
+  | Spawned of Tid.t  (* forked by the parent *)
+  | Origin  (* the root thread's birth at t = 0 *)
+
+type step = {
+  s_tid : Tid.t;
+  s_t0 : int;
+  s_t1 : int;
+  s_entry : entry;
+  s_run : int;  (* decomposition of [s_t0, s_t1) on s_tid's timeline *)
+  s_spin : int;
+  s_sched : int;
+  s_blocked : int;
+}
+
+type t = {
+  steps : step list;  (* chronological; intervals tile [0, makespan] *)
+  total : int;  (* = makespan by construction *)
+}
+
+(* Walk the dependency chain backwards from the end of the run: start at
+   the thread that was active last, attribute [wake, now) to it, cross
+   the wake edge to the waker, repeat.  Every crossing moves to an event
+   with a strictly smaller sequence number, so the walk terminates; the
+   attributed intervals abut, so they sum exactly to the makespan. *)
+let build ~makespan (timeline : Timeline.t) (events : M.prof_event list) =
+  let ev = Array.of_list events in
+  let n = Array.length ev in
+  (* The thread gating the finish: owner of the run segment with the
+     greatest end time (ties to the latest record). *)
+  let last_tid =
+    let best = ref None in
+    Array.iter
+      (fun (e : M.prof_event) ->
+        match e.pr_kind with
+        | M.Pr_run t1 -> (
+          match !best with
+          | Some (bt, _) when bt > t1 -> ()
+          | _ -> best := Some (t1, e.pr_tid))
+        | _ -> ())
+      ev;
+    match !best with
+    | Some (_, tid) -> Some tid
+    | None -> (
+      match n with 0 -> None | _ -> Some ev.(n - 1).pr_tid)
+  in
+  let decomp tid ~t0 ~t1 =
+    match Timeline.line timeline tid with
+    | Some l -> Timeline.decompose l.l_segs ~t0 ~t1
+    | None -> (0, 0, 0, 0)
+  in
+  let mk_step tid ~t0 ~t1 entry =
+    let run, spin, sched, blocked = decomp tid ~t0 ~t1 in
+    {
+      s_tid = tid;
+      s_t0 = t0;
+      s_t1 = t1;
+      s_entry = entry;
+      s_run = run;
+      s_spin = spin;
+      s_sched = sched;
+      s_blocked = blocked;
+    }
+  in
+  (* Latest wake of [tid] recorded before [bound]; joins, hand-offs and
+     alert cancellations all surface as Pr_wake. *)
+  let latest_wake tid bound =
+    let found = ref None in
+    (try
+       for i = min bound n - 1 downto 0 do
+         let e = ev.(i) in
+         if Tid.equal e.pr_tid tid then
+           match e.pr_kind with
+           | M.Pr_wake (waker, obj) ->
+             found := Some (e.pr_seq, e.pr_t, waker, obj);
+             raise Exit
+           | _ -> ()
+       done
+     with Exit -> ());
+    !found
+  in
+  let spawn_of tid =
+    let found = ref None in
+    Array.iter
+      (fun (e : M.prof_event) ->
+        match e.pr_kind with
+        | M.Pr_spawn child when Tid.equal child tid ->
+          if !found = None then found := Some (e.pr_seq, e.pr_t, e.pr_tid)
+        | _ -> ())
+      ev;
+    !found
+  in
+  let rec walk tid t_cur bound acc =
+    match latest_wake tid bound with
+    | Some (seq, t, waker, obj) ->
+      let acc = mk_step tid ~t0:t ~t1:t_cur (Woken { waker; obj }) :: acc in
+      (match waker with
+      | Some w -> walk w t seq acc
+      | None ->
+        (* A wake with no thread context (defensive); keep walking this
+           thread's own earlier history. *)
+        walk tid t seq acc)
+    | None -> (
+      match spawn_of tid with
+      | Some (seq, t, parent) when seq < bound ->
+        let acc = mk_step tid ~t0:t ~t1:t_cur (Spawned parent) :: acc in
+        walk parent t seq acc
+      | _ -> mk_step tid ~t0:0 ~t1:t_cur Origin :: acc)
+  in
+  let steps =
+    match last_tid with Some tid -> walk tid makespan n [] | None -> []
+  in
+  { steps; total = List.fold_left (fun a s -> a + (s.s_t1 - s.s_t0)) 0 steps }

@@ -1,0 +1,35 @@
+(** Blocking-chain critical path: the longest dependency chain of
+    causal steps from run start to finish.
+
+    The builder walks backwards from the thread that was active when the
+    run ended, attributing each interval to the thread gating progress
+    over it and crossing wake edges (Nub hand-off, Signal/Broadcast, V,
+    alert, join) to the waker.  The resulting step intervals abut, so
+    their durations sum exactly to the makespan — every cycle of the run
+    is attributed to exactly one step, and each step is decomposed into
+    running / spin / runnable-but-unscheduled / blocked cycles on its
+    thread's timeline. *)
+
+type entry =
+  | Woken of { waker : Threads_util.Tid.t option; obj : int option }
+  | Spawned of Threads_util.Tid.t
+  | Origin
+
+type step = {
+  s_tid : Threads_util.Tid.t;
+  s_t0 : int;
+  s_t1 : int;
+  s_entry : entry;
+  s_run : int;
+  s_spin : int;
+  s_sched : int;
+  s_blocked : int;
+}
+
+type t = {
+  steps : step list;  (** chronological; intervals tile [0, makespan] *)
+  total : int;  (** sum of step durations; = makespan by construction *)
+}
+
+val build :
+  makespan:int -> Timeline.t -> Firefly.Machine.prof_event list -> t

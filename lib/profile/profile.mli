@@ -1,0 +1,41 @@
+(** Causal profiler facade: build a profile from a machine after a
+    profiled run ({!Firefly.Machine.set_profiling}) and render it.
+
+    All renderings are deterministic for a fixed seed: tables sort by
+    (cycles, name), folded stacks sort lexicographically, and the
+    underlying profile stream is host-side bookkeeping — a profiled run
+    is cycle- and schedule-identical to an unprofiled one. *)
+
+type t = {
+  makespan : int;  (** total simulated cycles of the run *)
+  event_count : int;
+  timeline : Timeline.t;
+  critpath : Critpath.t;
+  waitfor : Waitfor.t;
+  name_of : int -> string;  (** object id -> display name *)
+}
+
+val of_machine : Firefly.Machine.t -> t
+
+(** "critical path by object" rows: (object, cycles, steps), sorted by
+    cycles descending then name. *)
+val by_object : t -> (string * int * int) list
+
+(** "top blockers" rows: (waker, object, blocked cycles, wake count),
+    sorted by blocked cycles descending. *)
+val top_blockers : t -> (string * string * int * int) list
+
+(** Deterministic table report: critical path, per-object attribution,
+    top blockers, wait decomposition, wait-for forensics. *)
+val render : t -> string
+
+(** Folded-stack flamegraph ("thread;state[;object] cycles", one line
+    per stack) — the format flamegraph.pl and speedscope ingest. *)
+val folded : t -> string
+
+(** Chrome trace-event JSON: one track per thread colored by state,
+    plus a dedicated critical-path track. *)
+val chrome : t -> string
+
+(** Structured report (schema_version 1) for scripts and CI. *)
+val to_json : t -> Obs.Json.t

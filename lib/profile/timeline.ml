@@ -1,0 +1,202 @@
+module M = Firefly.Machine
+module Tid = Threads_util.Tid
+
+(* What a thread was doing over an interval of simulated time.  The four
+   states tile each thread's lifetime [spawn, finish]: it was either
+   consuming cycles (Running, refined to Spin while inside a spin-lock
+   acquire), parked by the Nub or scheduler (Blocked), or runnable but
+   not dispatched (Sched — scheduler-induced wait). *)
+type kind = Running | Spin | Sched | Blocked
+
+type seg = {
+  tid : Tid.t;
+  t0 : int;
+  t1 : int;  (* half-open [t0, t1) *)
+  kind : kind;
+  obj : int option;  (* Blocked: the object waited on, when annotated *)
+}
+
+(* One blocked interval with its causal annotations: what the thread
+   waited on, who owned it at block time, and who eventually woke it
+   (None = still blocked when the run ended — deadlock or starvation). *)
+type blocked = {
+  b_tid : Tid.t;
+  b_t0 : int;
+  b_t1 : int;
+  b_target : M.wait_target;
+  b_owner : Tid.t option;
+  b_waker : Tid.t option;
+  b_obj_handed : int option;  (* object named by the waker's hand-off *)
+}
+
+type thread_line = {
+  l_tid : Tid.t;
+  l_start : int;  (* spawn time; 0 for the root *)
+  l_end : int;  (* finish time, or makespan if still live *)
+  l_segs : seg list;  (* chronological, tiling [l_start, l_end) *)
+}
+
+type t = {
+  makespan : int;
+  lines : thread_line list;  (* sorted by tid *)
+  blocks : blocked list;  (* all blocked intervals, chronological *)
+}
+
+let kind_name = function
+  | Running -> "running"
+  | Spin -> "spin"
+  | Sched -> "runnable"
+  | Blocked -> "blocked"
+
+(* Intersect [spins] (wall-clock spin-lock acquire windows for one
+   thread) with one Running segment, splitting it into Spin/Running
+   parts.  A spin window can straddle dispatch gaps; only the portions
+   where the thread actually ran count as Spin. *)
+let refine_running ~spins seg =
+  let overlaps =
+    List.filter_map
+      (fun (s0, s1) ->
+        let t0 = max s0 seg.t0 and t1 = min s1 seg.t1 in
+        if t0 < t1 then Some (t0, t1) else None)
+      spins
+    |> List.sort compare
+  in
+  let rec fill t acc = function
+    | [] -> if t < seg.t1 then { seg with t0 = t } :: acc else acc
+    | (s0, s1) :: rest ->
+      let acc = if t < s0 then { seg with t0 = t; t1 = s0 } :: acc else acc in
+      fill s1 ({ seg with t0 = s0; t1 = s1; kind = Spin } :: acc) rest
+  in
+  List.rev (fill seg.t0 [] overlaps)
+
+(* Reconstruct per-thread timelines from the machine's profile stream.
+   [spin_spans] are (tid, t0, t1) triples from the obs instrument (the
+   cat="spin" spans Spinlock.acquire records). *)
+let build ~makespan ~spin_spans (events : M.prof_event list) =
+  let spawn_at = Hashtbl.create 16 in
+  let finish_at = Hashtbl.create 16 in
+  let runs = Hashtbl.create 16 in  (* tid -> (t0, t1) list, rev *)
+  let open_block = Hashtbl.create 16 in  (* tid -> pending blocked *)
+  let blocks = ref [] in
+  let tids = Hashtbl.create 16 in
+  List.iter
+    (fun (e : M.prof_event) ->
+      Hashtbl.replace tids e.pr_tid ();
+      match e.pr_kind with
+      | M.Pr_run t1 ->
+        let l = Option.value (Hashtbl.find_opt runs e.pr_tid) ~default:[] in
+        Hashtbl.replace runs e.pr_tid ((e.pr_t, t1) :: l)
+      | M.Pr_spawn child ->
+        Hashtbl.replace tids child ();
+        if not (Hashtbl.mem spawn_at child) then
+          Hashtbl.replace spawn_at child e.pr_t
+      | M.Pr_block (target, owner) ->
+        Hashtbl.replace open_block e.pr_tid
+          {
+            b_tid = e.pr_tid;
+            b_t0 = e.pr_t;
+            b_t1 = makespan;
+            b_target = target;
+            b_owner = owner;
+            b_waker = None;
+            b_obj_handed = None;
+          }
+      | M.Pr_wake (waker, handed) -> (
+        match Hashtbl.find_opt open_block e.pr_tid with
+        | Some b ->
+          Hashtbl.remove open_block e.pr_tid;
+          blocks :=
+            { b with b_t1 = e.pr_t; b_waker = waker; b_obj_handed = handed }
+            :: !blocks
+        | None -> ())
+      | M.Pr_wake_pending _ -> ()
+      | M.Pr_finish -> Hashtbl.replace finish_at e.pr_tid e.pr_t)
+    events;
+  (* Threads still blocked at the end keep b_t1 = makespan, b_waker None. *)
+  Hashtbl.iter (fun _ b -> blocks := b :: !blocks) open_block;
+  let blocks =
+    List.sort (fun a b -> compare (a.b_t0, a.b_tid) (b.b_t0, b.b_tid)) !blocks
+  in
+  let lines =
+    Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+    |> List.sort Tid.compare
+    |> List.map (fun tid ->
+           let start =
+             Option.value (Hashtbl.find_opt spawn_at tid) ~default:0
+           in
+           let stop =
+             Option.value (Hashtbl.find_opt finish_at tid) ~default:makespan
+           in
+           let spins =
+             List.filter_map
+               (fun (t, s0, s1) -> if Tid.equal t tid then Some (s0, s1) else None)
+               spin_spans
+           in
+           (* Busy intervals: running segments and blocked intervals, in
+              time order; the gaps between them are Sched. *)
+           let busy =
+             List.rev_map
+               (fun (t0, t1) -> { tid; t0; t1; kind = Running; obj = None })
+               (Option.value (Hashtbl.find_opt runs tid) ~default:[])
+             @ List.filter_map
+                 (fun b ->
+                   if Tid.equal b.b_tid tid && b.b_t0 < b.b_t1 then
+                     Some
+                       {
+                         tid;
+                         t0 = b.b_t0;
+                         t1 = b.b_t1;
+                         kind = Blocked;
+                         obj =
+                           (match b.b_target with
+                           | M.On_obj o -> Some o
+                           | _ -> None);
+                       }
+                   else None)
+                 blocks
+           in
+           let busy = List.sort (fun a b -> compare a.t0 b.t0) busy in
+           let rec tile t acc = function
+             | [] ->
+               if t < stop then
+                 { tid; t0 = t; t1 = stop; kind = Sched; obj = None } :: acc
+               else acc
+             | s :: rest ->
+               let acc =
+                 if t < s.t0 then
+                   { tid; t0 = t; t1 = s.t0; kind = Sched; obj = None } :: acc
+                 else acc
+               in
+               let segs =
+                 if s.kind = Running then refine_running ~spins s else [ s ]
+               in
+               tile (max t s.t1) (List.rev_append segs acc) rest
+           in
+           let segs = List.rev (tile start [] busy) in
+           { l_tid = tid; l_start = start; l_end = stop; l_segs = segs })
+  in
+  { makespan; lines; blocks }
+
+(* Sum of cycles per state across [segs] clipped to [t0, t1). *)
+let decompose segs ~t0 ~t1 =
+  List.fold_left
+    (fun (run, spin, sched, blk) s ->
+      let d = min s.t1 t1 - max s.t0 t0 in
+      if d <= 0 then (run, spin, sched, blk)
+      else
+        match s.kind with
+        | Running -> (run + d, spin, sched, blk)
+        | Spin -> (run, spin + d, sched, blk)
+        | Sched -> (run, spin, sched + d, blk)
+        | Blocked -> (run, spin, sched, blk + d))
+    (0, 0, 0, 0) segs
+
+let line t tid = List.find_opt (fun l -> Tid.equal l.l_tid tid) t.lines
+
+(* Whole-run totals per state, over every thread's lifetime. *)
+let totals t =
+  List.fold_left
+    (fun (run, spin, sched, blk) l ->
+      let r, s, c, b = decompose l.l_segs ~t0:0 ~t1:t.makespan in
+      (run + r, spin + s, sched + c, blk + b))
+    (0, 0, 0, 0) t.lines

@@ -1,0 +1,79 @@
+module M = Firefly.Machine
+module Tid = Threads_util.Tid
+
+(* One live wait-for edge: [w_tid] is blocked on [w_target], whose owner
+   at block time was [w_owner] (threads wait on objects, objects point
+   at their owner — the classical two-partite wait-for graph, projected
+   onto threads for cycle detection). *)
+type edge = {
+  w_at : int;
+  w_tid : Tid.t;
+  w_target : M.wait_target;
+  w_owner : Tid.t option;
+}
+
+type cycle = {
+  c_at : int;  (* cycle timestamp of the block that closed it *)
+  c_seq : int;  (* profile-stream sequence number, for forensics *)
+  c_members : edge list;  (* in chain order, starting at the closer *)
+}
+
+type t = {
+  cycles : cycle list;  (* first snapshot per distinct member set *)
+  final : edge list;  (* threads still blocked when the run ended *)
+}
+
+(* Follow thread -> owned-object -> owner links from [start].  Returns
+   the chain if it loops back to [start]; owners recorded at block time
+   stay valid while the waiters stay blocked, which is exactly the
+   deadlocked case a snapshot must capture. *)
+let find_cycle waiting start =
+  let rec follow tid chain seen =
+    match Hashtbl.find_opt waiting tid with
+    | None -> None
+    | Some e ->
+      let next =
+        match e.w_target with
+        | M.On_thread t -> Some t
+        | M.On_obj _ -> e.w_owner
+        | M.On_unknown -> None
+      in
+      (match next with
+      | None -> None
+      | Some t when Tid.equal t start -> Some (List.rev (e :: chain))
+      | Some t ->
+        if List.exists (Tid.equal t) seen then None
+        else follow t (e :: chain) (t :: seen))
+  in
+  follow start [] [ start ]
+
+let build (events : M.prof_event list) =
+  let waiting = Hashtbl.create 16 in
+  let cycles = ref [] in
+  let seen_member_sets = Hashtbl.create 4 in
+  List.iter
+    (fun (e : M.prof_event) ->
+      match e.pr_kind with
+      | M.Pr_block (target, owner) -> (
+        Hashtbl.replace waiting e.pr_tid
+          { w_at = e.pr_t; w_tid = e.pr_tid; w_target = target; w_owner = owner };
+        match find_cycle waiting e.pr_tid with
+        | Some members ->
+          let key =
+            List.map (fun m -> m.w_tid) members |> List.sort Tid.compare
+          in
+          if not (Hashtbl.mem seen_member_sets key) then begin
+            Hashtbl.replace seen_member_sets key ();
+            cycles :=
+              { c_at = e.pr_t; c_seq = e.pr_seq; c_members = members }
+              :: !cycles
+          end
+        | None -> ())
+      | M.Pr_wake _ | M.Pr_finish -> Hashtbl.remove waiting e.pr_tid
+      | M.Pr_run _ | M.Pr_spawn _ | M.Pr_wake_pending _ -> ())
+    events;
+  let final =
+    Hashtbl.fold (fun _ e acc -> e :: acc) waiting []
+    |> List.sort (fun a b -> Tid.compare a.w_tid b.w_tid)
+  in
+  { cycles = List.rev !cycles; final }

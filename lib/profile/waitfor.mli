@@ -1,0 +1,28 @@
+(** Wait-for graph forensics over the causal profile stream.
+
+    Replays block/wake edges, maintaining the set of live wait-for edges
+    (thread → object → owner, or thread → thread for joins).  A block
+    that closes a thread-projected cycle yields a {!cycle} snapshot —
+    the deadlock's member chain frozen at the instant it formed.  Edges
+    still live when the run ends ([final]) are the starvation /
+    deadlock residue. *)
+
+type edge = {
+  w_at : int;  (** block timestamp, simulated cycles *)
+  w_tid : Threads_util.Tid.t;
+  w_target : Firefly.Machine.wait_target;
+  w_owner : Threads_util.Tid.t option;  (** owner at block time *)
+}
+
+type cycle = {
+  c_at : int;
+  c_seq : int;
+  c_members : edge list;  (** in chain order, starting at the closer *)
+}
+
+type t = {
+  cycles : cycle list;  (** first snapshot per distinct member set *)
+  final : edge list;  (** threads still blocked when the run ended *)
+}
+
+val build : Firefly.Machine.prof_event list -> t

@@ -26,6 +26,9 @@ let create pkg =
      racy-read-at-enqueue is the paper's wakeup-waiting cover. *)
   Probe.register_word interest M.W_atomic
     (Printf.sprintf "cond#%d.interest" interest);
+  (* The interest word doubles as the condition's object id; name it so
+     profile reports say "cond#N" rather than the word's registry name. *)
+  Probe.register_lock interest (Printf.sprintf "cond#%d" interest);
   Probe.register_word
     (Firefly.Eventcount.value_addr evc)
     M.W_eventcount
@@ -77,7 +80,9 @@ let block c i ~alertable =
           (* Cancellation, run by Alert under the spin-lock. *)
           ignore (Tqueue.remove c.q self);
           Hashtbl.replace c.departing self ();
+          Probe.handoff ~obj:(id c) self;
           Ops.ready self);
+    Probe.will_block (id c);
     Ops.deschedule_and_clear (Spinlock.addr c.pkg.lock);
     Woken
   end
@@ -179,7 +184,11 @@ let wake_some c ~take_all =
              Probe.counter (n ^ ".wakeup_waiting_hits")
                (List.length from_window);
            Some (event (from_q @ from_window @ from_departing))));
-    List.iter Ops.ready !to_ready;
+    List.iter
+      (fun t ->
+        Probe.handoff ~obj:(id c) t;
+        Ops.ready t)
+      !to_ready;
     Spinlock.release c.pkg.lock
   end
 

@@ -41,7 +41,9 @@ let monitor () =
 
 let condition mon =
   decr cond_ids;
-  { mon; hq = Tqueue.create (); cid = !cond_ids }
+  let cid = !cond_ids in
+  M.Probe.register_lock cid (Printf.sprintf "hcond#%d" (-cid));
+  { mon; hq = Tqueue.create (); cid }
 
 (* Ownership is transferred, never contended: a thread woken from the
    entry, urgent or condition queue already holds the monitor. *)
@@ -58,7 +60,10 @@ let enter mon =
       | Some _ ->
         M.Probe.lock_attempted mon.scratch;
         Tqueue.push mon.entry self);
-  if not !got then Ops.deschedule_and_clear mon.scratch
+  if not !got then begin
+    M.Probe.will_block mon.scratch;
+    Ops.deschedule_and_clear mon.scratch
+  end
 
 (* Pass the monitor to a suspended signaller first, then to an entering
    thread, else free it.  Returns the thread to ready, if any.  The
@@ -89,7 +94,11 @@ let exit mon =
       | None -> ());
       M.Probe.lock_released mon.scratch;
       next := pass_on mon);
-  match !next with Some t -> Ops.ready t | None -> ()
+  match !next with
+  | Some t ->
+    M.Probe.handoff ~obj:mon.scratch t;
+    Ops.ready t
+  | None -> ()
 
 let with_monitor mon f =
   enter mon;
@@ -103,7 +112,12 @@ let wait c =
       emit (Events.enqueue ~proc:"Wait" ~self ~m:c.mon.scratch ~c:c.cid);
       M.Probe.lock_released c.mon.scratch;
       next := pass_on c.mon);
-  (match !next with Some t -> Ops.ready t | None -> ());
+  (match !next with
+  | Some t ->
+    M.Probe.handoff ~obj:c.mon.scratch t;
+    Ops.ready t
+  | None -> ());
+  M.Probe.will_block c.cid;
   Ops.deschedule_and_clear c.mon.scratch
 (* On return the signaller has handed us the monitor: predicate intact. *)
 
@@ -131,7 +145,11 @@ let do_signal c =
   match !woke with
   | Some w ->
     Ops.incr_counter "hoare.switches";
+    M.Probe.handoff ~obj:c.cid w;
     Ops.ready w;
+    (* The signaller parks on the urgent queue waiting for the monitor,
+       whose owner is now [w] — exactly the hand-off edge E8 charges. *)
+    M.Probe.will_block c.mon.scratch;
     Ops.deschedule_and_clear c.mon.scratch;
     true
   | None -> false

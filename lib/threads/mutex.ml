@@ -48,6 +48,7 @@ let nub_acquire m =
   if Ops.read m.bit <> 0 then begin
     Probe.counter (n ^ ".blocks") 1;
     Probe.span_begin ~cat:"mutex" ("wait " ^ n);
+    Probe.will_block m.bit;
     Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock);
     match Probe.span_end ("wait " ^ n) with
     | Some d -> Probe.sample (n ^ ".wait_cycles") d
@@ -68,6 +69,7 @@ let nub_release m =
   (match Tqueue.pop m.q with
   | Some t ->
     Ops.write m.waiters (Tqueue.length m.q);
+    Probe.handoff ~obj:m.bit t;
     Ops.ready t
   | None -> ());
   Spinlock.release m.pkg.lock
@@ -109,6 +111,7 @@ let rec lock_loop m ~first ~event =
       Probe.gauge_max (n ^ ".queue_hwm") (Tqueue.length m.q);
       Probe.counter (n ^ ".blocks") 1;
       Probe.span_begin ~cat:"mutex" ("wait " ^ n);
+      Probe.will_block m.bit;
       Ops.deschedule_and_clear (Spinlock.addr m.pkg.lock);
       (match Probe.span_end ("wait " ^ n) with
       | Some d -> Probe.sample (n ^ ".wait_cycles") d

@@ -45,9 +45,11 @@ let nub_p s ~alertable =
       if alertable then
         Alerts.register s.pkg.alerts self (fun () ->
             ignore (Tqueue.remove s.q self);
+            Probe.handoff ~obj:s.bit self;
             Ops.ready self);
       Probe.counter (n ^ ".blocks") 1;
       Probe.span_begin ~cat:"sem" ("P-block " ^ n);
+      Probe.will_block s.bit;
       Ops.deschedule_and_clear (Spinlock.addr s.pkg.lock);
       (match Probe.span_end ("P-block " ^ n) with
       | Some d -> Probe.sample (n ^ ".p_block_cycles") d
@@ -107,9 +109,11 @@ let rec p_loop s ~first ~alertable ~event =
         if alertable then
           Alerts.register s.pkg.alerts self (fun () ->
               ignore (Tqueue.remove s.q self);
+              Probe.handoff ~obj:s.bit self;
               Ops.ready self);
         Probe.counter (n ^ ".blocks") 1;
         Probe.span_begin ~cat:"sem" ("P-block " ^ n);
+        Probe.will_block s.bit;
         Ops.deschedule_and_clear (Spinlock.addr s.pkg.lock);
         (match Probe.span_end ("P-block " ^ n) with
         | Some d -> Probe.sample (n ^ ".p_block_cycles") d
@@ -145,6 +149,7 @@ let v s =
     | Some t ->
       Ops.write s.waiters (Tqueue.length s.q);
       Alerts.unregister s.pkg.alerts t;
+      Probe.handoff ~obj:s.bit t;
       Ops.ready t
     | None -> ());
     Spinlock.release s.pkg.lock

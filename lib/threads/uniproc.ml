@@ -53,6 +53,7 @@ let rec lock_loop st m ~event =
         Tqueue.push m.mq self;
         None);
   if not !got then begin
+    M.Probe.will_block m.mid;
     block st;
     lock_loop st m ~event
   end
@@ -63,7 +64,11 @@ let unlock _st m ~event =
       M.Probe.lock_released m.mid;
       event ());
   (* Hand the next queued acquirer a chance; it re-checks on wake. *)
-  match Tqueue.pop m.mq with Some t -> Ops.ready t | None -> ()
+  match Tqueue.pop m.mq with
+  | Some t ->
+    M.Probe.handoff ~obj:m.mid t;
+    Ops.ready t
+  | None -> ()
 
 let wait_generic st c m ~proc ~alertable =
   let self = Ops.self () in
@@ -82,13 +87,21 @@ let wait_generic st c m ~proc ~alertable =
            Hashtbl.replace st.cancels self (fun () ->
                ignore (Tqueue.remove c.cq self);
                Hashtbl.replace c.departing self ();
+               M.Probe.handoff ~obj:c.cid self;
                Ops.ready self)
        end);
       m.holder <- None;
       M.Probe.lock_released m.mid;
       Some (Events.enqueue ~proc ~self ~m:m.mid ~c:c.cid));
-  (match Tqueue.pop m.mq with Some t -> Ops.ready t | None -> ());
-  if not !alerted_now then block st;
+  (match Tqueue.pop m.mq with
+  | Some t ->
+    M.Probe.handoff ~obj:m.mid t;
+    Ops.ready t
+  | None -> ());
+  if not !alerted_now then begin
+    M.Probe.will_block c.cid;
+    block st
+  end;
   let raise_it =
     alertable
     && (!alerted_now || take_woken st self || Tid.Set.mem self st.pending)
@@ -121,7 +134,11 @@ let wake_cond st c ~take_all ~self =
       Some
         (if take_all then Events.broadcast ~self ~c:c.cid ~removed
          else Events.signal ~self ~c:c.cid ~removed));
-  List.iter Ops.ready !to_ready
+  List.iter
+    (fun t ->
+      M.Probe.handoff ~obj:c.cid t;
+      Ops.ready t)
+    !to_ready
 
 let rec p_loop st s ~alertable ~event =
   let self = Ops.self () in
@@ -141,6 +158,7 @@ let rec p_loop st s ~alertable ~event =
         if alertable then
           Hashtbl.replace st.cancels self (fun () ->
               ignore (Tqueue.remove s.sq self);
+              M.Probe.handoff ~obj:s.sid self;
               Ops.ready self);
         None
       end);
@@ -148,6 +166,7 @@ let rec p_loop st s ~alertable ~event =
   | `Got -> `Acquired
   | `Alerted -> `Alerted
   | `Blocked ->
+    M.Probe.will_block s.sid;
     block st;
     Hashtbl.remove st.cancels self;
     if alertable && take_woken st self then `Alerted
@@ -179,10 +198,14 @@ let make () : sync =
       { holder = None; mq = Tqueue.create (); mid }
 
     let condition () =
-      { cq = Tqueue.create (); departing = Hashtbl.create 4; cid = fresh_id st }
+      let cid = fresh_id st in
+      M.Probe.register_lock cid (Printf.sprintf "cond#%d" cid);
+      { cq = Tqueue.create (); departing = Hashtbl.create 4; cid }
 
     let semaphore () =
-      { avail = true; sq = Tqueue.create (); sid = fresh_id st }
+      let sid = fresh_id st in
+      M.Probe.register_lock sid (Printf.sprintf "sem#%d" sid);
+      { avail = true; sq = Tqueue.create (); sid }
 
     let acquire m =
       let self = Ops.self () in
@@ -215,7 +238,11 @@ let make () : sync =
       atomically (fun () ->
           s.avail <- true;
           Some (Events.v ~self ~s:s.sid));
-      match Tqueue.pop s.sq with Some t -> Ops.ready t | None -> ()
+      match Tqueue.pop s.sq with
+      | Some t ->
+        M.Probe.handoff ~obj:s.sid t;
+        Ops.ready t
+      | None -> ()
 
     let alert target =
       let self = Ops.self () in

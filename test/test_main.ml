@@ -40,4 +40,5 @@ let () =
       Test_multicore.suite;
       Test_cross_backend.suite;
       Test_analysis.suite;
+      Test_profile.suite;
     ]

@@ -196,6 +196,92 @@ let test_json_parser () =
     (Obs.Json.Parse_error "trailing garbage at offset 5") (fun () ->
       ignore (Obs.Json.of_string "null x"))
 
+(* Property: the writer and parser are exact inverses on the whole value
+   type — escaped strings, nested arrays/objects, and full-precision
+   floats included.  Floats use a shortest-round-trip printer, so equality
+   here is bit-exact, not approximate. *)
+let json_roundtrip_prop =
+  let open QCheck in
+  let leaf_gen =
+    Gen.oneof
+      [
+        Gen.return Obs.Json.Null;
+        Gen.map (fun b -> Obs.Json.Bool b) Gen.bool;
+        Gen.map (fun n -> Obs.Json.Int n) Gen.int;
+        Gen.map
+          (fun x -> Obs.Json.Float x)
+          (Gen.oneof
+             [
+               Gen.float;
+               (* adversarial: sums that %.12g used to collapse *)
+               Gen.return (0.1 +. 0.2);
+               Gen.return 1.0e-300;
+               Gen.return (-1.2345678901234567e22);
+               Gen.map (fun n -> float_of_int n /. 7.0) Gen.int;
+             ]);
+        Gen.map (fun s -> Obs.Json.String s) Gen.string;
+      ]
+  in
+  let value_gen =
+    Gen.sized (fun size ->
+        Gen.fix
+          (fun self n ->
+            if n = 0 then leaf_gen
+            else
+              Gen.oneof
+                [
+                  leaf_gen;
+                  Gen.map
+                    (fun xs -> Obs.Json.Arr xs)
+                    (Gen.list_size (Gen.int_bound 4) (self (n / 2)));
+                  Gen.map
+                    (fun kvs -> Obs.Json.Obj kvs)
+                    (Gen.list_size (Gen.int_bound 4)
+                       (Gen.pair Gen.string (self (n / 2))));
+                ])
+          (min size 6))
+  in
+  let rec no_nan = function
+    | Obs.Json.Float x -> x = x
+    | Obs.Json.Arr xs -> List.for_all no_nan xs
+    | Obs.Json.Obj kvs -> List.for_all (fun (_, v) -> no_nan v) kvs
+    | _ -> true
+  in
+  Test.make ~count:500 ~name:"json to_string/of_string round trip"
+    (make value_gen)
+    (fun j ->
+      assume (no_nan j);
+      Obs.Json.of_string (Obs.Json.to_string j) = j)
+
+let test_json_float_precision () =
+  (* regression: %.12g collapsed 0.1 +. 0.2 to "0.3" *)
+  List.iter
+    (fun x ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float x)) with
+      | Obs.Json.Float y ->
+        Alcotest.(check bool)
+          (Printf.sprintf "float %h survives exactly" x)
+          true (x = y)
+      | _ -> Alcotest.fail "float did not parse back as a float")
+    [ 0.1 +. 0.2; 1.0 /. 3.0; Float.min_float; Float.max_float; 1e-300 ];
+  (* non-finite values degrade to valid JSON rather than bare tokens *)
+  Alcotest.(check bool) "nan writes null" true
+    (Obs.Json.to_string (Obs.Json.Float Float.nan) = "null");
+  (match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float infinity)) with
+  | Obs.Json.Float x -> Alcotest.(check bool) "inf round trip" true (x = infinity)
+  | _ -> Alcotest.fail "infinity did not parse back");
+  (* deeply nested arrays with escaped strings round trip *)
+  let nasty =
+    Obs.Json.(
+      Arr
+        [
+          Arr [ Arr [ String "a\"b\\c\nd\tx"; Arr [] ] ];
+          Obj [ ("k\"1", Arr [ Int 1; Arr [ String "\000\031 ok" ] ]) ];
+        ])
+  in
+  Alcotest.(check bool) "nested/escaped round trip" true
+    (Obs.Json.of_string (Obs.Json.to_string nasty) = nasty)
+
 let suite =
   ( "obs",
     [
@@ -211,4 +297,7 @@ let suite =
       Alcotest.test_case "chrome trace parses back, B/E per span" `Quick
         test_chrome_roundtrip;
       Alcotest.test_case "json writer/parser" `Quick test_json_parser;
+      Alcotest.test_case "json float precision & escapes" `Quick
+        test_json_float_precision;
+      QCheck_alcotest.to_alcotest json_roundtrip_prop;
     ] )
