@@ -204,6 +204,27 @@ let analysis_pass =
     (Staged.stage (fun () ->
          ignore (Threads_analysis.Analysis.of_machine machine)))
 
+(* Injection overhead: the same sim mutex workload under the plain
+   interleaver (analysis/sim mutex, recording off), under the fault
+   engine with an empty plan (pure driver bookkeeping: trigger scan,
+   timer poll, stall filter), and under the engine replaying the
+   delay-wakeups plan (bookkeeping plus the injection itself). *)
+let chaos_driver =
+  Option.get analysis_backend.Threads_backend.Backend.chaos
+
+let chaos_empty_plan = Threads_fault.Plan.{ id = -1; actions = [] }
+let chaos_delay_plan = Threads_fault.Plan.generate ~plan_id:0
+
+let chaos_empty =
+  Test.make ~name:"chaos/sim mutex, empty plan"
+    (Staged.stage (fun () ->
+         ignore (chaos_driver ~seed:7 ~plan:chaos_empty_plan analysis_workload)))
+
+let chaos_injected =
+  Test.make ~name:"chaos/sim mutex, delay-wakeups plan"
+    (Staged.stage (fun () ->
+         ignore (chaos_driver ~seed:7 ~plan:chaos_delay_plan analysis_workload)))
+
 let benchmark ~quick tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -288,6 +309,10 @@ let arm_sim_cycles =
     let _, machine = analysis_instrument ~seed:7 analysis_workload in
     Firefly.Machine.total_cycles machine
   in
+  let chaos_cycles plan =
+    let _, o = chaos_driver ~seed:7 ~plan analysis_workload in
+    Firefly.Machine.total_cycles o.Threads_fault.Engine.machine
+  in
   [
     ("e1/sim 100 pairs (full machine)", api_cycles ~seed:1 sim_pairs);
     ("e2/timed sim, 4 threads x 50 ops, 5 cpus",
@@ -300,6 +325,8 @@ let arm_sim_cycles =
        (let _, machine = analysis_instrument ~seed:7 analysis_workload in
         Firefly.Machine.access_count machine),
      analysis_cycles);
+    ("chaos/sim mutex, empty plan", chaos_cycles chaos_empty_plan);
+    ("chaos/sim mutex, delay-wakeups plan", chaos_cycles chaos_delay_plan);
   ]
 
 (* Strip the Bechamel group prefix ("threads-repro/") for stable keys. *)
@@ -356,6 +383,8 @@ let () =
         analysis_plain;
         analysis_recorded;
         analysis_pass;
+        chaos_empty;
+        chaos_injected;
       ]
   in
   let results = benchmark ~quick tests in

@@ -467,6 +467,103 @@ let diff_cmd =
           predict (non-zero exit if a conforming backend diverges)")
     Term.(const run $ workload $ seeds)
 
+(* ---- chaos conformance: fault injection x spec conformance ---- *)
+
+let chaos_cmd =
+  let backend =
+    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"B"
+           ~doc:"Chaos-capable backend (sim, uniproc)")
+  in
+  let workload =
+    Arg.(value & opt string "all" & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload name, or $(b,all)")
+  in
+  let plans =
+    Arg.(value & opt int Threads_fault.Plan.families
+         & info [ "plans" ] ~docv:"N"
+             ~doc:"Number of fault plans (ids 0..N-1; 7 cycles every family)")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of seeds (schedules) per plan")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the full fault reports to $(docv) instead of stdout")
+  in
+  let run backend workload plans seeds out =
+    let b =
+      match Bk.find backend with
+      | Some b -> b
+      | None ->
+        Printf.eprintf "unknown backend %s; available: %s\n" backend
+          (String.concat ", " (Bk.names ()));
+        exit 1
+    in
+    if b.Bk.chaos = None then begin
+      Printf.eprintf "backend %s has no chaos driver (chaos-capable: %s)\n"
+        b.Bk.name
+        (String.concat ", "
+           (List.filter_map
+              (fun (b : Bk.t) ->
+                if b.Bk.chaos <> None then Some b.Bk.name else None)
+              Bk.all));
+      exit 1
+    end;
+    let failed = ref false in
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    List.iter
+      (fun (wl : Wl.t) ->
+        let s = Cc.chaos b wl ~plans ~seeds in
+        Cc.render_chaos ppf s;
+        Format.pp_print_flush ppf ();
+        if s.Cc.cs_skipped then
+          Printf.printf "%-10s skipped (backend lacks a required feature)\n"
+            wl.name
+        else begin
+          Printf.printf "%-10s %d plans x %d seeds | %s\n" wl.name plans seeds
+            (String.concat ", "
+               (List.map
+                  (fun (k, n) -> Printf.sprintf "%dx %s" n k)
+                  (Cc.chaos_classes s)));
+          if not (Cc.chaos_ok s) then begin
+            failed := true;
+            List.iter
+              (fun (r : Cc.chaos_run) ->
+                match r.Cc.c_class with
+                | Cc.Violation | Cc.Unexplained ->
+                  Printf.printf "           FAIL %s plan#%d seed=%d\n"
+                    (Cc.class_name r.Cc.c_class) r.Cc.c_plan.Threads_fault.Plan.id
+                    r.Cc.c_seed
+                | Cc.Conformant | Cc.Diagnosed -> ())
+              s.Cc.cs_runs
+          end
+        end)
+      (resolve_workloads workload);
+    write_out ~out (Buffer.contents buf);
+    if !failed then begin
+      Printf.printf
+        "FAIL: %s left a run unexplained or in violation under injection\n"
+        b.Bk.name;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay deterministic fault plans (delayed/dropped wakeups, \
+          spurious wakeups, alert storms, stalls, crash-stops, contention \
+          bursts) against a backend while checking its trace against the \
+          formal specification.  Every run must either complete conformant \
+          or terminate with a diagnosed fault report naming the injected \
+          fault — never a silent hang or a spec violation (non-zero exit \
+          otherwise).  Equal (backend, workload, plan, seed) produce \
+          byte-identical reports")
+    Term.(const run $ backend $ workload $ plans $ seeds $ out)
+
 (* ---- dynamic race / lock-order analysis and the spec linter ---- *)
 
 module An = Threads_analysis.Analysis
@@ -890,4 +987,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd;
-            conform_cmd; diff_cmd; analyze_cmd; profile_cmd; lint_spec_cmd ]))
+            conform_cmd; diff_cmd; chaos_cmd; analyze_cmd; profile_cmd;
+            lint_spec_cmd ]))

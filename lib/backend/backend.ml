@@ -29,6 +29,14 @@ type t = {
   profile : (seed:int -> Workload.t -> outcome * Firefly.Machine.t) option;
       (** causal-profiled run (same seeds and schedules as [run]);
           [None] for hardware backends with no machine *)
+  chaos :
+    (seed:int ->
+    plan:Threads_fault.Plan.t ->
+    Workload.t ->
+    string option * Threads_fault.Engine.outcome)
+    option;
+      (** run under the fault-injection engine replaying [plan];
+          [None] for backends the chaos driver cannot host *)
 }
 
 let supports b (wl : Workload.t) =
@@ -80,6 +88,20 @@ let machine_run ?strategy ?(profile = false) ~record ~seed build
   in
   (of_report observable report, report.Firefly.Interleave.machine)
 
+(* Chaos-engine counterpart of [machine_run]: same root-thread shape, but
+   the fault engine drives the interleaving, replaying [plan]'s triggers.
+   Both chaos-capable backends run under the engine's seed-derived random
+   strategy, so equal (backend, workload, plan, seed) replay exactly. *)
+let chaos_run ~seed ~plan build (wl : Workload.t) =
+  let observable = ref None in
+  let outcome =
+    Threads_fault.Engine.run ~seed ~plan (fun machine ->
+        ignore
+          (Firefly.Machine.spawn_root machine (fun () ->
+               observable := Some (wl.body (build ())))))
+  in
+  (!observable, outcome)
+
 let taos_build () =
   let module S = (val Taos_threads.Api.make (Taos_threads.Pkg.create ())) in
   (module S : Sync_intf.SYNC)
@@ -130,6 +152,8 @@ let naive_make pkg : (module Sync_intf.SYNC) =
     let test_alert () = T.Alerts.test_alert pkg.T.Pkg.alerts ~self:(Ops.self ())
     let alert_wait _ _ = failwith "naive backend: alert_wait unsupported"
     let alert_p = T.Semaphore.alert_p
+    let timed_wait _ _ ~timeout:_ = failwith "naive backend: timed_wait unsupported"
+    let timed_p = T.Semaphore.timed_p
     let self () = Ops.self ()
     let fork f = Ops.spawn f
     let join = Ops.join
@@ -176,6 +200,8 @@ let hoare_make pkg : (module Sync_intf.SYNC) =
     let test_alert () = failwith "hoare backend: alerting unsupported"
     let alert_wait _ _ = failwith "hoare backend: alerting unsupported"
     let alert_p _ = failwith "hoare backend: alerting unsupported"
+    let timed_wait _ _ ~timeout:_ = failwith "hoare backend: timed_wait unsupported"
+    let timed_p _ ~timeout:_ = failwith "hoare backend: timed_p unsupported"
     let self () = Ops.self ()
     let fork f = Ops.spawn f
     let join = Ops.join
@@ -234,7 +260,7 @@ let all =
       description = "Firefly simulator, Taos two-layer implementation";
       real_parallelism = false;
       conforming = true;
-      supports = [ Workload.Alerts ];
+      supports = [ Workload.Alerts; Workload.Timeouts ];
       run = sim_run;
       instrument =
         Machine_access (fun ~seed wl -> machine_run ~record:true ~seed taos_build wl);
@@ -242,13 +268,14 @@ let all =
         Some
           (fun ~seed wl ->
             machine_run ~profile:true ~record:false ~seed taos_build wl);
+      chaos = Some (fun ~seed ~plan wl -> chaos_run ~seed ~plan taos_build wl);
     };
     {
       name = "uniproc";
       description = "cooperative uniprocessor implementation";
       real_parallelism = false;
       conforming = true;
-      supports = [ Workload.Alerts ];
+      supports = [ Workload.Alerts; Workload.Timeouts ];
       run = uniproc_run;
       instrument =
         Machine_access
@@ -262,6 +289,8 @@ let all =
             machine_run
               ~strategy:(Firefly.Sched.random seed)
               ~profile:true ~record:false ~seed uniproc_build wl);
+      chaos =
+        Some (fun ~seed ~plan wl -> chaos_run ~seed ~plan uniproc_build wl);
     };
     {
       name = "naive";
@@ -277,6 +306,7 @@ let all =
         Some
           (fun ~seed wl ->
             machine_run ~profile:true ~record:false ~seed naive_build wl);
+      chaos = None;
     };
     {
       name = "hoare";
@@ -292,6 +322,7 @@ let all =
         Some
           (fun ~seed wl ->
             machine_run ~profile:true ~record:false ~seed hoare_build wl);
+      chaos = None;
     };
     {
       name = "multicore";
@@ -302,6 +333,7 @@ let all =
       run = multicore_run;
       instrument = Lock_trace multicore_lock_run;
       profile = None;
+      chaos = None;
     };
   ]
 

@@ -56,6 +56,18 @@ type t = {
           as [run] (the profile stream is host-side machine bookkeeping,
           not an instruction); [None] for hardware backends, which have
           no machine to profile *)
+  chaos :
+    (seed:int ->
+    plan:Threads_fault.Plan.t ->
+    Workload.t ->
+    string option * Threads_fault.Engine.outcome)
+    option;
+      (** run under the fault-injection engine ([lib/fault]) replaying
+          [plan]; returns the workload observable (if the root finished)
+          and the engine outcome.  Deterministic in (seed, plan).  [None]
+          for backends the chaos driver cannot host — the baselines (not
+          part of the robustness claim) and hardware backends (no
+          simulated machine to perturb) *)
 }
 
 (** [supports b w] — does [b] provide every feature [w] needs? *)

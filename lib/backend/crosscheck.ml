@@ -76,3 +76,166 @@ let first_error s =
 (* Run every registered backend able to take the workload. *)
 let diff (workload : Workload.t) ~seeds =
   List.map (fun b -> conform b workload ~seeds) Backend.all
+
+(* ------------------------------------------------------------------ *)
+(* Chaos conformance: backend x workload x fault plan.                 *)
+
+module Engine = Threads_fault.Engine
+module Plan = Threads_fault.Plan
+module M = Firefly.Machine
+
+type chaos_class =
+  | Conformant
+  | Diagnosed
+  | Violation
+  | Unexplained
+
+let class_name = function
+  | Conformant -> "conformant"
+  | Diagnosed -> "diagnosed"
+  | Violation -> "VIOLATION"
+  | Unexplained -> "UNEXPLAINED"
+
+type chaos_run = {
+  c_seed : int;
+  c_plan : Plan.t;
+  c_observable : string option;
+  c_outcome : Engine.outcome;
+  c_report : Conformance.report;
+  c_class : chaos_class;
+}
+
+(* The robustness contract: under any injected fault plan a run must
+   either conform (complete, zero violations, no unexplained thread
+   failures) or be diagnosed — terminate with zero violations and a
+   non-empty fault log that names the injected fault blamed for the
+   deadlock, budget exhaustion or crash-stopped thread.  Anything else
+   (a spec violation, or a failure with an empty fault log) is a harness
+   red flag. *)
+let classify (outcome : Engine.outcome) (report : Conformance.report) =
+  let failures = M.failures outcome.Engine.machine in
+  let crash_only =
+    List.for_all (fun (_, e) -> e = M.Crash_stopped) failures
+  in
+  let injected = outcome.Engine.injected <> [] in
+  if report.Conformance.errors <> [] then Violation
+  else
+    match outcome.Engine.verdict with
+    | Engine.Completed when failures = [] -> Conformant
+    | Engine.Completed when crash_only && injected -> Diagnosed
+    | (Engine.Deadlock _ | Engine.Step_budget) when crash_only && injected ->
+      Diagnosed
+    | _ -> Unexplained
+
+let chaos_one (backend : Backend.t) (workload : Workload.t) ~seed
+    (plan : Plan.t) =
+  match backend.Backend.chaos with
+  | None -> invalid_arg ("backend has no chaos driver: " ^ backend.Backend.name)
+  | Some driver ->
+    let observable, outcome = driver ~seed ~plan workload in
+    let report = Conformance.check iface (M.trace outcome.Engine.machine) in
+    {
+      c_seed = seed;
+      c_plan = plan;
+      c_observable = observable;
+      c_outcome = outcome;
+      c_report = report;
+      c_class = classify outcome report;
+    }
+
+type chaos_summary = {
+  cs_backend : Backend.t;
+  cs_workload : Workload.t;
+  cs_skipped : bool;
+  cs_runs : chaos_run list;
+}
+
+let chaos (backend : Backend.t) (workload : Workload.t) ~plans ~seeds =
+  if backend.Backend.chaos = None || not (Backend.supports backend workload)
+  then
+    { cs_backend = backend; cs_workload = workload; cs_skipped = true;
+      cs_runs = [] }
+  else
+    let runs =
+      List.concat_map
+        (fun plan_id ->
+          let plan = Plan.generate ~plan_id in
+          List.init seeds (fun seed -> chaos_one backend workload ~seed plan))
+        (List.init plans (fun i -> i))
+    in
+    { cs_backend = backend; cs_workload = workload; cs_skipped = false;
+      cs_runs = runs }
+
+(* Every run landed in one of the two acceptable classes. *)
+let chaos_ok s =
+  (not s.cs_skipped)
+  && List.for_all
+       (fun r -> match r.c_class with
+         | Conformant | Diagnosed -> true
+         | Violation | Unexplained -> false)
+       s.cs_runs
+
+let chaos_classes s =
+  List.fold_left
+    (fun acc r ->
+      let key = class_name r.c_class in
+      match List.assoc_opt key acc with
+      | Some n -> (key, n + 1) :: List.remove_assoc key acc
+      | None -> acc @ [ (key, 1) ])
+    [] s.cs_runs
+
+(* Deterministic rendering of one chaos run — the structured fault
+   report.  Equal (backend, workload, plan, seed) must render equal
+   reports; the chaos CI smoke job diffs two such renderings. *)
+let render_run b ppf r =
+  let o = r.c_outcome in
+  Format.fprintf ppf "=== %s plan#%d seed=%d: %s@\n" b r.c_plan.Plan.id
+    r.c_seed (class_name r.c_class);
+  Format.fprintf ppf "  plan: %s@\n" (Plan.describe r.c_plan);
+  Format.fprintf ppf "  verdict: %a after %d steps@\n" Engine.pp_verdict
+    o.Engine.verdict o.Engine.steps;
+  (match r.c_observable with
+  | Some obs -> Format.fprintf ppf "  observable: %s@\n" obs
+  | None -> Format.fprintf ppf "  observable: (none)@\n");
+  Format.fprintf ppf "  conformance: %d events, %d violations@\n"
+    r.c_report.Conformance.events
+    (List.length r.c_report.Conformance.errors);
+  List.iter
+    (fun (e : Conformance.error) ->
+      Format.fprintf ppf "  violation at [%d] %a: %s@\n" e.Conformance.index
+        Spec_trace.pp_event e.Conformance.event e.Conformance.message)
+    r.c_report.Conformance.errors;
+  (match M.failures o.Engine.machine with
+  | [] -> ()
+  | fs ->
+    Format.fprintf ppf "  failed threads: %s@\n"
+      (String.concat ", "
+         (List.map
+            (fun (tid, e) ->
+              Printf.sprintf "t%d (%s)" tid (Printexc.to_string e))
+            fs)));
+  match o.Engine.injected with
+  | [] -> Format.fprintf ppf "  injected: (none)@\n"
+  | faults ->
+    Format.fprintf ppf "  injected (%d):@\n" (List.length faults);
+    List.iter
+      (fun (f : M.fault) ->
+        Format.fprintf ppf "    [%d] cycle %d: %s@\n" f.M.f_seq f.M.f_cycle
+          f.M.f_desc)
+      faults
+
+let render_chaos ppf s =
+  if s.cs_skipped then
+    Format.fprintf ppf "%s x %s: skipped (no chaos driver or feature)@\n"
+      s.cs_backend.Backend.name s.cs_workload.Workload.name
+  else begin
+    Format.fprintf ppf "--- chaos: %s x %s (%d runs) ---@\n"
+      s.cs_backend.Backend.name s.cs_workload.Workload.name
+      (List.length s.cs_runs);
+    List.iter (render_run s.cs_backend.Backend.name ppf) s.cs_runs;
+    Format.fprintf ppf "summary: %s@\n"
+      (String.concat ", "
+         (List.map
+            (fun (k, n) -> Printf.sprintf "%d %s" n k)
+            (chaos_classes s)))
+  end

@@ -44,3 +44,60 @@ val first_error : summary -> string option
 
 (** [diff w ~seeds] — [conform] on every registered backend. *)
 val diff : Workload.t -> seeds:int -> summary list
+
+(** {1 Chaos conformance}
+
+    Backend x workload x fault plan, the robustness contract of the
+    fault-injection layer: every run must either complete conformant or
+    terminate with a diagnosed fault report naming the injected fault —
+    never a silent hang (the engine's step budget is the watchdog) and
+    never a spec violation. *)
+
+type chaos_class =
+  | Conformant
+      (** completed, zero violations, no failed threads *)
+  | Diagnosed
+      (** zero violations; the deadlock / budget exhaustion /
+          crash-stopped thread is attributed to a recorded injected
+          fault *)
+  | Violation  (** the trace broke the spec — always a bug *)
+  | Unexplained
+      (** a failure with no injected fault to blame — always a bug *)
+
+val class_name : chaos_class -> string
+
+type chaos_run = {
+  c_seed : int;
+  c_plan : Threads_fault.Plan.t;
+  c_observable : string option;
+  c_outcome : Threads_fault.Engine.outcome;
+  c_report : Threads_model.Conformance.report;
+  c_class : chaos_class;
+}
+
+type chaos_summary = {
+  cs_backend : Backend.t;
+  cs_workload : Workload.t;
+  cs_skipped : bool;  (** no chaos driver, or missing workload feature *)
+  cs_runs : chaos_run list;
+}
+
+(** [chaos_one b w ~seed plan] — one run under the fault engine, trace
+    checked against the spec and classified.  Raises [Invalid_argument]
+    if [b] has no chaos driver. *)
+val chaos_one :
+  Backend.t -> Workload.t -> seed:int -> Threads_fault.Plan.t -> chaos_run
+
+(** [chaos b w ~plans ~seeds] — plans [0..plans-1] x seeds
+    [0..seeds-1]. *)
+val chaos : Backend.t -> Workload.t -> plans:int -> seeds:int -> chaos_summary
+
+(** Every run classified [Conformant] or [Diagnosed]. *)
+val chaos_ok : chaos_summary -> bool
+
+(** Class name -> occurrence count, in first-seen order. *)
+val chaos_classes : chaos_summary -> (string * int) list
+
+(** Deterministic fault report: equal (backend, workload, plan, seed)
+    render byte-equal reports. *)
+val render_chaos : Format.formatter -> chaos_summary -> unit

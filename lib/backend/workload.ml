@@ -1,6 +1,6 @@
 module Sync_intf = Taos_threads.Sync_intf
 
-type feature = Alerts
+type feature = Alerts | Timeouts
 
 type t = {
   name : string;
@@ -141,6 +141,54 @@ let broadcast_body (module S : Sync_intf.SYNC) =
   List.iter S.join ws;
   Printf.sprintf "woken=%d" !woken
 
+(* Timeouts land in all three shapes they can take: a TimedP that must
+   expire (the semaphore is held for the duration), a Mesa-loop TimedWait
+   that is eventually signalled (expiries before that just go round the
+   loop), and a TimedWait on a condition nobody ever signals, which must
+   expire.  Every arm has exactly one schedule-independent outcome. *)
+let timeout_body (module S : Sync_intf.SYNC) =
+  let m = S.mutex () in
+  let c = S.condition () in
+  let never = S.condition () in
+  let s = S.semaphore () in
+  S.p s;
+  (* s is held and nobody will V it: TimedP can only expire. *)
+  let p_result = ref "" in
+  let p_thread =
+    S.fork (fun () ->
+        match S.timed_p s ~timeout:200 with
+        | () -> p_result := "acquired"
+        | exception Sync_intf.Timed_out -> p_result := "timed_out")
+  in
+  let flag = ref false in
+  let wait_result = ref "" in
+  let waiter =
+    S.fork (fun () ->
+        S.with_lock m (fun () ->
+            while not !flag do
+              match S.timed_wait m c ~timeout:150 with
+              | () -> ()
+              | exception Sync_intf.Timed_out -> ()
+            done;
+            wait_result := "woken"))
+  in
+  S.join p_thread;
+  S.with_lock m (fun () ->
+      flag := true;
+      S.signal c);
+  S.join waiter;
+  let expiry_result = ref "" in
+  let expiry =
+    S.fork (fun () ->
+        S.with_lock m (fun () ->
+            match S.timed_wait m never ~timeout:120 with
+            | () -> expiry_result := "woken"
+            | exception Sync_intf.Timed_out -> expiry_result := "timed_out"))
+  in
+  S.join expiry;
+  Printf.sprintf "p=%s wait=%s expiry=%s" !p_result !wait_result
+    !expiry_result
+
 let all =
   [
     {
@@ -172,6 +220,12 @@ let all =
       description = "3 provably-parked waiters, one Broadcast (E5 shape)";
       needs = [];
       body = broadcast_body;
+    };
+    {
+      name = "timeout";
+      description = "expiring TimedP, Mesa-loop TimedWait, sure expiry";
+      needs = [ Timeouts ];
+      body = timeout_body;
     };
   ]
 

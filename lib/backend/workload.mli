@@ -8,7 +8,9 @@
     trace — is therefore attributable to the backend, which is what
     [repro diff] exploits. *)
 
-type feature = Alerts  (** the workload uses Alert/TestAlert/Alert*. *)
+type feature =
+  | Alerts  (** the workload uses Alert/TestAlert/Alert*. *)
+  | Timeouts  (** the workload uses TimedWait/TimedP. *)
 
 type t = {
   name : string;
@@ -18,9 +20,11 @@ type t = {
       (** returns the observable *)
 }
 
-(** mutex, condvar, semaphore, alert, broadcast — the [broadcast] workload
-    is the E5 stranding scenario: three waiters provably inside Wait when
-    one Broadcast fires. *)
+(** mutex, condvar, semaphore, alert, broadcast, timeout — the
+    [broadcast] workload is the E5 stranding scenario: three waiters
+    provably inside Wait when one Broadcast fires; [timeout] exercises an
+    expiring TimedP, a Mesa-loop TimedWait that is eventually signalled,
+    and a TimedWait that must expire. *)
 val all : t list
 
 val find : string -> t option

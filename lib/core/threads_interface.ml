@@ -201,12 +201,49 @@ let alert_wait ~mutex_guard ~must_raise ~unchanged_c =
     ~modifies:[ "m"; "c"; "alerts" ]
     [ alert_wait_enqueue; alert_resume ~mutex_guard ~must_raise ~unchanged_c ]
 
+(* Timed variants (this reproduction's extension, not in the paper).
+   TimedP either takes the semaphore or gives up with the state intact;
+   the raise case has no WHEN so expiry is always permitted — the spec
+   constrains only what a timeout may change (nothing). *)
+let timed_p =
+  atomic_proc "TimedP" ~formals:[ var "s" "Semaphore" ] ~raises:[ "TimedOut" ]
+    ~modifies:[ "s" ]
+    [
+      returns_case ~when_:(pre "s" === available) (post "s" === unavailable);
+      raises_case "TimedOut" ~when_:Formula.True (unchanged [ "s" ]);
+    ]
+
+(* TimedWait = Enqueue; TimedResume.  A timed-out resume must still
+   re-acquire the mutex, and deletes SELF from c — delete of a
+   non-member is the identity, which is what a racing Broadcast (that
+   already emptied c) leaves behind. *)
+let timed_resume =
+  {
+    a_name = "TimedResume";
+    a_cases =
+      [
+        returns_case
+          ~when_:((pre "m" === nil) &&& not_ (mem self (pre "c")))
+          ((post "m" === self) &&& unchanged [ "c" ]);
+        raises_case "TimedOut"
+          ~when_:(pre "m" === nil)
+          ((post "m" === self) &&& (post "c" === delete (pre "c") self));
+      ];
+  }
+
+let timed_wait =
+  composition "TimedWait"
+    ~formals:[ var "m" "Mutex"; var "c" "Condition" ]
+    ~raises:[ "TimedOut" ] ~requires:(pre "m" === self)
+    ~modifies:[ "m"; "c" ]
+    [ wait_enqueue; timed_resume ]
+
 let make ~mutex_guard ~must_raise ~unchanged_c =
   {
     i_name = "Threads";
     i_types = types;
     i_globals = globals;
-    i_exceptions = [ "Alerted" ];
+    i_exceptions = [ "Alerted"; "TimedOut" ];
     i_procs =
       [
         acquire;
@@ -220,6 +257,8 @@ let make ~mutex_guard ~must_raise ~unchanged_c =
         test_alert;
         alert_p ~must_raise;
         alert_wait ~mutex_guard ~must_raise ~unchanged_c;
+        timed_p;
+        timed_wait;
       ];
   }
 
@@ -248,6 +287,7 @@ TYPE Semaphore = (available, unavailable) INITIALLY available
 
 VAR alerts : SET OF Thread INITIALLY {}
 EXCEPTION Alerted
+EXCEPTION TimedOut
 
 ATOMIC PROCEDURE Acquire(VAR m : Mutex)
   MODIFIES AT MOST [m]
@@ -312,4 +352,22 @@ PROCEDURE AlertWait(VAR m : Mutex; VAR c : Condition) RAISES Alerted =
       ENSURES (m_post = SELF) & UNCHANGED [c, alerts]
     RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)
       ENSURES (m_post = SELF) & (c_post = delete(c, SELF)) & (alerts_post = delete(alerts, SELF))
+
+ATOMIC PROCEDURE TimedP(VAR s : Semaphore) RAISES TimedOut
+  MODIFIES AT MOST [s]
+  RETURNS WHEN s = available
+    ENSURES s_post = unavailable
+  RAISES TimedOut ENSURES UNCHANGED [s]
+
+PROCEDURE TimedWait(VAR m : Mutex; VAR c : Condition) RAISES TimedOut =
+  COMPOSITION OF Enqueue; TimedResume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [m, c]
+  ATOMIC ACTION Enqueue
+    ENSURES (c_post = insert(c, SELF)) & (m_post = NIL)
+  ATOMIC ACTION TimedResume
+    RETURNS WHEN (m = NIL) & ~(SELF IN c)
+      ENSURES (m_post = SELF) & UNCHANGED [c]
+    RAISES TimedOut WHEN (m = NIL)
+      ENSURES (m_post = SELF) & (c_post = delete(c, SELF))
 |}

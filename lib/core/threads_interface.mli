@@ -4,12 +4,18 @@
 
     Procedures: [Acquire], [Release], [Wait] (= COMPOSITION OF Enqueue;
     Resume), [Signal], [Broadcast], [P], [V], [Alert], [TestAlert],
-    [AlertP], [AlertWait] (= COMPOSITION OF Enqueue; AlertResume).
+    [AlertP], [AlertWait] (= COMPOSITION OF Enqueue; AlertResume), plus
+    this reproduction's timed extensions [TimedP] and [TimedWait]
+    (= COMPOSITION OF Enqueue; TimedResume): the timeout cases RAISE
+    [TimedOut]; an expired [TimedP] leaves the semaphore UNCHANGED, and
+    an expired [TimedWait] still re-acquires the mutex and deletes SELF
+    from the condition (delete of a non-member is the identity, covering
+    the race with a Broadcast that already emptied it).
 
     Types: [Mutex = Thread INITIALLY NIL], [Condition = SET OF Thread
     INITIALLY {}], [Semaphore = (available, unavailable) INITIALLY
-    available]; global [alerts : SET OF Thread INITIALLY {}]; exception
-    [Alerted]. *)
+    available]; global [alerts : SET OF Thread INITIALLY {}]; exceptions
+    [Alerted] and [TimedOut]. *)
 
 (** The specification as published (after all three corrections). *)
 val final : Proc.interface

@@ -1,0 +1,45 @@
+(** The chaos engine: a replacement interleaving driver that replays a
+    {!Plan} against a machine-hosted backend.
+
+    The engine is the only party that perturbs the run: delayed/dropped
+    wakeups go through the machine's wakeup-interrupt filter; spurious
+    wakeups, alert storms and contention bursts run as {e injector
+    threads} through the chaos hooks the package registered at object
+    creation, so they execute real package code with real events; stalls
+    and crash-stops act on the schedule and thread set directly.  Every
+    injected fault is recorded in {!Firefly.Machine.faults} (and the
+    [chaos.faults] counter) for blame attribution.
+
+    Runs are deterministic: equal (seed, plan, build) yield equal
+    schedules, traces and fault records.  The step budget is the
+    watchdog — a run that an injected fault has wedged (e.g. a dropped
+    wakeup or a crash-stop holding the package lock) terminates with
+    {!Step_budget} or {!Deadlock} instead of hanging. *)
+
+type verdict =
+  | Completed
+  | Deadlock of Threads_util.Tid.t list  (** blocked threads *)
+  | Step_budget  (** watchdog: budget exhausted, e.g. stalled spinners *)
+
+type outcome = {
+  verdict : verdict;
+  steps : int;
+  machine : Firefly.Machine.t;
+      (** inspect trace / failures / metrics post-run *)
+  injected : Firefly.Machine.fault list;
+      (** every fault injected or observed, in sequence order *)
+}
+
+val default_budget : int
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [run ~plan build] creates a machine, installs the wakeup filter,
+    runs [build] (which must spawn the root workload thread), then
+    drives the interleaving while firing the plan's triggers. *)
+val run :
+  ?strategy:Firefly.Sched.t ->
+  ?max_steps:int ->
+  ?seed:int ->
+  plan:Plan.t ->
+  (Firefly.Machine.t -> unit) ->
+  outcome

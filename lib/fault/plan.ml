@@ -1,0 +1,93 @@
+module Rng = Threads_util.Rng
+
+type action =
+  | Delay_wakeups of { after : int; width : int; delay : int }
+  | Drop_wakeup of { after : int }
+  | Spurious_wakeup of { after : int }
+  | Alert_storm of { after : int; count : int }
+  | Stall of { after : int; tid : int; duration : int }
+  | Crash_stop of { after : int; tid : int }
+  | Contention_burst of { after : int; count : int }
+
+type t = { id : int; actions : action list }
+
+let trigger = function
+  | Delay_wakeups { after; _ }
+  | Drop_wakeup { after }
+  | Spurious_wakeup { after }
+  | Alert_storm { after; _ }
+  | Stall { after; _ }
+  | Crash_stop { after; _ }
+  | Contention_burst { after; _ } -> after
+
+let describe_action = function
+  | Delay_wakeups { after; width; delay } ->
+    Printf.sprintf "delay-wakeups@%d width=%d delay=%d" after width delay
+  | Drop_wakeup { after } -> Printf.sprintf "drop-wakeup@%d" after
+  | Spurious_wakeup { after } -> Printf.sprintf "spurious-wakeup@%d" after
+  | Alert_storm { after; count } ->
+    Printf.sprintf "alert-storm@%d count=%d" after count
+  | Stall { after; tid; duration } ->
+    Printf.sprintf "stall@%d t%d for=%d" after tid duration
+  | Crash_stop { after; tid } -> Printf.sprintf "crash-stop@%d t%d" after tid
+  | Contention_burst { after; count } ->
+    Printf.sprintf "contention-burst@%d count=%d" after count
+
+let describe p =
+  Printf.sprintf "plan#%d: %s" p.id
+    (String.concat "; " (List.map describe_action p.actions))
+
+let by_trigger actions =
+  List.stable_sort (fun a b -> compare (trigger a) (trigger b)) actions
+
+(* Seven plan families, cycled by id; the id also seeds the jitter, so
+   plan N is one fixed, reproducible fault sequence everywhere. *)
+let families = 7
+
+let generate ~plan_id =
+  let rng = Rng.create (0x0fa517 + (plan_id * 0x9e3779)) in
+  let between lo hi = lo + Rng.int rng (hi - lo) in
+  let actions =
+    match plan_id mod families with
+    | 0 ->
+      [
+        Delay_wakeups
+          {
+            after = between 100 400;
+            width = between 200 600;
+            delay = between 50 400;
+          };
+      ]
+    | 1 ->
+      [
+        Drop_wakeup { after = between 100 500 };
+        Drop_wakeup { after = between 600 1200 };
+      ]
+    | 2 ->
+      [
+        Spurious_wakeup { after = between 50 300 };
+        Spurious_wakeup { after = between 300 900 };
+      ]
+    | 3 -> [ Alert_storm { after = between 100 500; count = between 2 5 } ]
+    | 4 ->
+      [
+        Stall
+          {
+            after = between 100 400;
+            tid = Rng.int rng 4;
+            duration = between 200 800;
+          };
+      ]
+    | 5 -> [ Crash_stop { after = between 200 900; tid = between 1 4 } ]
+    | _ ->
+      [
+        Contention_burst { after = between 50 300; count = between 2 8 };
+        Delay_wakeups
+          {
+            after = between 300 800;
+            width = between 100 400;
+            delay = between 20 200;
+          };
+      ]
+  in
+  { id = plan_id; actions = by_trigger actions }

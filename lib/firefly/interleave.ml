@@ -13,10 +13,15 @@ let run ?(max_steps = 1_000_000) ?strategy ?(seed = 0) ?cost build =
   let steps = ref 0 in
   let rec loop () =
     if !steps >= max_steps then Step_limit
-    else
+    else begin
+      (* No-op unless a thread armed a timed wait (then expiry is driven
+         by the machine clock; at quiescence the clock jumps to the next
+         deadline — discrete-event idle time). *)
+      Machine.fire_due_timers m;
       match Machine.runnable m with
       | [] ->
-        if Machine.live m then
+        if Machine.advance_to_next_timer m then loop ()
+        else if Machine.live m then
           Deadlock
             (List.filter
                (fun tid -> Machine.status m tid = Machine.Blocked)
@@ -27,6 +32,7 @@ let run ?(max_steps = 1_000_000) ?strategy ?(seed = 0) ?cost build =
         ignore (Machine.step m tid);
         incr steps;
         loop ()
+    end
   in
   let verdict = loop () in
   { verdict; steps = !steps; machine = m }

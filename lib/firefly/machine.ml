@@ -3,6 +3,39 @@ module Trace = Spec_trace
 
 type status = Runnable | Blocked | Finished | Failed of exn
 
+(* An interrupt routine tried to block (join or deschedule): its own
+   exception, so fault plans that storm the interrupt level produce an
+   actionable diagnostic rather than a bare [Failure]. *)
+exception Interrupt_blocked of string
+
+(* Status exception of a thread removed by [kill] (injected crash-stop). *)
+exception Crash_stopped
+
+let () =
+  Printexc.register_printer (function
+    | Interrupt_blocked what ->
+      Some
+        (Printf.sprintf
+           "Interrupt_blocked(%s): interrupt routines cannot block — they \
+            may only use non-blocking operations such as V"
+           what)
+    | Crash_stopped -> Some "Crash_stopped (injected processor crash-stop)"
+    | _ -> None)
+
+(* ---- fault injection (lib/fault) ----
+
+   The chaos engine installs a wake filter that intercepts every
+   package-level wakeup interrupt ([Ops.ready]) and may delay or drop it;
+   it can also crash-stop a thread mid-run ([kill]).  Every injected fault
+   is appended to the machine's cycle-stamped fault log so post-mortem
+   reports can attribute blame.  With no filter installed and no timers
+   armed, none of this code runs — an uninjected machine is cycle- and
+   schedule-identical to one built before this layer existed. *)
+
+type wake_verdict = Deliver | Delay of int | Drop
+
+type fault = { f_seq : int; f_cycle : int; f_desc : string }
+
 (* ---- low-level access stream (dynamic analysis) ----
 
    When recording is on, every shared-memory instruction — and every
@@ -137,6 +170,10 @@ type thread = {
   mutable prio : int;
   intr : bool;  (* interrupt context: must never block *)
   mutable wakeup_pending : bool;  (* Saltzer's wakeup-waiting switch *)
+  mutable epoch : int;
+      (* wake-episode counter, bumped at each delivered wake; a delayed
+         wakeup captured in an earlier episode is stale and is discarded
+         rather than spuriously waking a later block *)
   mutable instr : int;
   mutable cycles : int;
   mutable joiners : Tid.t list;
@@ -168,6 +205,18 @@ type t = {
       (* set by Probe.will_block, consumed at the next deschedule *)
   pending_wake : (Tid.t, int) Hashtbl.t;
       (* target -> object id, set by Probe.handoff, consumed at the wake *)
+  timers : (Tid.t, int) Hashtbl.t;  (* armed deadline per thread (cycles) *)
+  timer_fired : (Tid.t, unit) Hashtbl.t;
+      (* set when a timer wake was delivered, consumed by the timed-out
+         thread to distinguish expiry from a Signal/V wake *)
+  mutable wake_filter : (Tid.t -> wake_verdict) option;
+  mutable delayed : (int * int * Tid.t) list;
+      (* (due cycle, epoch at interception, target), unsorted *)
+  mutable chaos_hooks : (string * (int -> unit)) list;  (* newest first *)
+  killed : (Tid.t, unit) Hashtbl.t;  (* crash-stopped by [kill] *)
+  mutable chaos_active : bool;
+  mutable faults : fault list;  (* newest first; [faults] reverses *)
+  mutable fault_count : int;
 }
 
 (* The machine whose thread is currently inside [step], with that thread's
@@ -186,6 +235,7 @@ let dummy_thread =
     prio = 0;
     intr = false;
     wakeup_pending = false;
+    epoch = 0;
     instr = 0;
     cycles = 0;
     joiners = [];
@@ -216,6 +266,15 @@ let create ?(seed = 0) ?(cost = Cost.default) () =
     owners = Hashtbl.create 16;
     pending_block = Hashtbl.create 8;
     pending_wake = Hashtbl.create 8;
+    timers = Hashtbl.create 8;
+    timer_fired = Hashtbl.create 8;
+    wake_filter = None;
+    delayed = [];
+    chaos_hooks = [];
+    killed = Hashtbl.create 4;
+    chaos_active = false;
+    faults = [];
+    fault_count = 0;
   }
 
 let thread m tid =
@@ -238,6 +297,7 @@ let add_thread m ?(priority = 0) ?(interrupt = false) f =
       prio = priority;
       intr = interrupt;
       wakeup_pending = false;
+      epoch = 0;
       instr = 0;
       cycles = 0;
       joiners = [];
@@ -340,8 +400,22 @@ let prof_waker m =
   | Some (m', w) when m' == m -> Some w
   | _ -> None
 
+(* Cycle-stamped fault log: one entry per injected fault (and per notable
+   consequence, e.g. a stale delayed wakeup being discarded).  Host-side
+   bookkeeping, mirrored into an obs counter so metrics reports show it. *)
+let record_fault m desc =
+  m.faults <-
+    { f_seq = m.fault_count; f_cycle = m.total_cycles; f_desc = desc }
+    :: m.faults;
+  m.fault_count <- m.fault_count + 1;
+  Obs.Instrument.incr m.obs "chaos.faults" 1
+
 let wake m tid =
   let t = thread m tid in
+  if Hashtbl.mem m.killed tid then
+    record_fault m
+      (Printf.sprintf "wakeup of crash-stopped t%d discarded" tid)
+  else
   let wake_obj () =
     let obj = Hashtbl.find_opt m.pending_wake tid in
     Hashtbl.remove m.pending_wake tid;
@@ -350,6 +424,7 @@ let wake m tid =
   match t.status with
   | Blocked ->
     t.status <- Runnable;
+    t.epoch <- t.epoch + 1;
     prof_push m tid ~t:m.total_cycles (Pr_wake (prof_waker m, wake_obj ()));
     Obs.Instrument.incr m.obs "machine.wakes" 1;
     ignore
@@ -361,6 +436,7 @@ let wake m tid =
        hits this path (it only readies threads found descheduled under the
        spin-lock); the cooperative backend relies on it. *)
     t.wakeup_pending <- true;
+    t.epoch <- t.epoch + 1;
     prof_push m tid ~t:m.total_cycles
       (Pr_wake_pending (prof_waker m, wake_obj ()));
     Obs.Instrument.incr m.obs "machine.wakeup_waiting_arms" 1
@@ -478,7 +554,8 @@ let execute_effect (type a) m t (eff : a Effect.t)
       resume m t k ();
       0
     | Runnable | Blocked when t.intr ->
-      finish m t (Failed (Failure "interrupt routine attempted to block"));
+      finish m t
+        (Failed (Interrupt_blocked (Printf.sprintf "join on t%d" target)));
       0
     | Runnable | Blocked ->
       tgt.joiners <- t.tid :: tgt.joiners;
@@ -507,7 +584,8 @@ let execute_effect (type a) m t (eff : a Effect.t)
       (* An interrupt routine may not block; it dies without releasing the
          spin-lock, which is exactly the disaster the paper warns about. *)
       ignore (prof_take_block_reason m t.tid);
-      finish m t (Failed (Failure "interrupt routine attempted to block"));
+      finish m t
+        (Failed (Interrupt_blocked (Printf.sprintf "deschedule@%d" a)));
       charge ~instr:true c.write
     end
     else if t.wakeup_pending then begin
@@ -536,7 +614,19 @@ let execute_effect (type a) m t (eff : a Effect.t)
       cost
     end
   | E_ready target ->
-    wake m target;
+    (match m.wake_filter with
+    | None -> wake m target
+    | Some f -> (
+      (* Only package wakeup interrupts pass this filter; join/finish
+         wakes and timer expiries are machine-internal and undroppable. *)
+      match f target with
+      | Deliver -> wake m target
+      | Delay d ->
+        let tgt = thread m target in
+        m.delayed <- (m.total_cycles + d, tgt.epoch, target) :: m.delayed;
+        record_fault m
+          (Printf.sprintf "wakeup of t%d delayed by %d cycles" target d)
+      | Drop -> record_fault m (Printf.sprintf "wakeup of t%d dropped" target)));
     resume m t k ();
     0
   | E_emit ev ->
@@ -663,6 +753,104 @@ let access_count m = m.acc_count
 
 let set_profiling m b = m.profiling <- b
 let profiling m = m.profiling
+
+(* ---- timers (driver side) ----
+
+   A timer is armed by the owning thread (Probe.set_timeout) and fired by
+   the driver between steps once the machine clock passes its deadline:
+   the victim is woken exactly as by [Ops.ready] (honouring the
+   wakeup-waiting switch) and its [timer_fired] flag is set; the victim
+   itself then dequeues and linearizes the timed outcome under the package
+   lock.  When nothing is runnable but timers remain, the driver advances
+   the clock to the earliest deadline — discrete-event idle time. *)
+
+let timers_pending m = Hashtbl.length m.timers > 0
+
+let next_timer m =
+  Hashtbl.fold
+    (fun _ d acc ->
+      match acc with None -> Some d | Some d' -> Some (min d d'))
+    m.timers None
+
+let fire_timer m tid =
+  Hashtbl.remove m.timers tid;
+  match (thread m tid).status with
+  | Finished | Failed _ -> ()
+  | Runnable | Blocked ->
+    if not (Hashtbl.mem m.killed tid) then begin
+      Hashtbl.replace m.timer_fired tid ();
+      wake m tid
+    end
+
+let fire_due_timers m =
+  if Hashtbl.length m.timers > 0 then begin
+    let due =
+      Hashtbl.fold
+        (fun tid d acc -> if d <= m.total_cycles then tid :: acc else acc)
+        m.timers []
+    in
+    List.iter (fire_timer m) (List.sort compare due)
+  end
+
+let advance_to_next_timer m =
+  match next_timer m with
+  | None -> false
+  | Some d ->
+    if d > m.total_cycles then m.total_cycles <- d;
+    fire_due_timers m;
+    true
+
+(* ---- fault injection (driver side) ---- *)
+
+let set_wake_filter m f = m.wake_filter <- f
+
+let delayed_pending m = m.delayed <> []
+
+let next_delayed m =
+  List.fold_left
+    (fun acc (d, _, _) ->
+      match acc with None -> Some d | Some d' -> Some (min d d'))
+    None m.delayed
+
+let flush_delayed m =
+  if m.delayed <> [] then begin
+    let due, rest = List.partition (fun (d, _, _) -> d <= m.total_cycles) m.delayed in
+    m.delayed <- rest;
+    List.iter
+      (fun (_, epoch, target) ->
+        let t = thread m target in
+        match t.status with
+        | (Runnable | Blocked)
+          when t.epoch = epoch && not (Hashtbl.mem m.killed target) ->
+          record_fault m (Printf.sprintf "delayed wakeup of t%d delivered" target);
+          wake m target
+        | _ ->
+          (* The episode this wakeup targeted is over (a timer or another
+             wake got there first): delivering it now would spuriously
+             wake an unrelated block, so it is discarded — which is what a
+             real lost interrupt looks like. *)
+          record_fault m
+            (Printf.sprintf "stale delayed wakeup of t%d discarded" target))
+      (List.sort compare due)
+  end
+
+let advance_clock m ~to_ = if to_ > m.total_cycles then m.total_cycles <- to_
+
+let kill m tid ~reason =
+  let t = thread m tid in
+  match t.status with
+  | Finished | Failed _ -> ()
+  | Runnable | Blocked ->
+    Hashtbl.replace m.killed tid ();
+    Hashtbl.remove m.timers tid;
+    record_fault m (Printf.sprintf "crash-stop of t%d (%s)" tid reason);
+    finish m t (Failed Crash_stopped)
+
+let was_killed m tid = Hashtbl.mem m.killed tid
+let set_chaos_active m b = m.chaos_active <- b
+let chaos_hooks m = List.rev m.chaos_hooks
+let faults m = List.rev m.faults
+let fault_count m = m.fault_count
 let prof_events m = List.rev m.prof
 let prof_event_count m = m.prof_count
 let owner_of m obj = Hashtbl.find_opt m.owners obj
@@ -806,6 +994,56 @@ module Probe = struct
      with the object whose ownership is being handed over — called just
      before the [Ops.ready] in Release / Signal / Broadcast / V and the
      alert cancellation paths. *)
+
+  (* ---- timer probes (timed waits) ----
+
+     Arming/disarming a timer is host-side bookkeeping (no effect, no
+     cycle): the deadline only becomes visible when the driver fires it
+     between steps.  [take_timeout_fired] consumes the delivery flag so
+     the timed-out thread can tell expiry from a Signal/V wake. *)
+
+  let set_timeout ~cycles =
+    match !current with
+    | Some (m, tid) -> Hashtbl.replace m.timers tid (m.total_cycles + cycles)
+    | None -> ()
+
+  let cancel_timeout () =
+    match !current with
+    | Some (m, tid) ->
+      Hashtbl.remove m.timers tid;
+      Hashtbl.remove m.timer_fired tid
+    | None -> ()
+
+  let take_timeout_fired () =
+    match !current with
+    | Some (m, tid) ->
+      if Hashtbl.mem m.timer_fired tid then begin
+        Hashtbl.remove m.timer_fired tid;
+        true
+      end
+      else false
+    | None -> false
+
+  (* ---- chaos probes (lib/fault) ---- *)
+
+  (* True only while a fault-injection driver is running this machine:
+     gates degradation heuristics (spin-lock backoff) so uninjected runs
+     stay schedule-identical. *)
+  let chaos_active () =
+    match !current with Some (m, _) -> m.chaos_active | None -> false
+
+  (* Package code registers named injection entry points at object
+     creation (a condition's spurious wakeup, a spin-lock's contention
+     burst, the package's alert).  The chaos engine runs them from
+     injector threads it spawns mid-run. *)
+  let register_chaos name f =
+    match !current with
+    | Some (m, _) -> m.chaos_hooks <- (name, f) :: m.chaos_hooks
+    | None -> ()
+
+  (* Record a package-level injected fault in the machine's fault log. *)
+  let inject_fault desc =
+    match !current with Some (m, _) -> record_fault m desc | None -> ()
 
   let will_block obj =
     match !current with

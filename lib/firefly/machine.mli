@@ -18,6 +18,37 @@ type status =
   | Finished
   | Failed of exn  (** the thread body escaped with an exception *)
 
+(** An interrupt routine attempted to block (join or deschedule).  The
+    argument names the blocking site.  Interrupt routines cannot protect
+    shared data with a mutex — the paper's stated reason semaphores exist
+    — so this is a programming (or fault-plan) error with its own
+    diagnostic rather than a bare [Failure]. *)
+exception Interrupt_blocked of string
+
+(** Status exception of a thread removed by {!kill} (injected processor
+    crash-stop). *)
+exception Crash_stopped
+
+(** {1 Fault injection (lib/fault)}
+
+    The chaos engine installs a {!wake_verdict} filter over every
+    package-level wakeup interrupt ({!Ops.ready}), may {!kill} threads
+    mid-run, and runs package-registered injection hooks from injector
+    threads.  Every injected fault lands in the cycle-stamped fault log
+    ({!faults}) so post-mortem reports can attribute blame.  With no
+    filter installed and no timers armed, none of this code runs: an
+    uninjected machine is cycle- and schedule-identical to one built
+    before this layer existed. *)
+
+(** Filter verdict for one intercepted wakeup interrupt. *)
+type wake_verdict =
+  | Deliver  (** pass through unchanged *)
+  | Delay of int  (** deliver [n] cycles later (widens the race window) *)
+  | Drop  (** lose it — the classic lost-wakeup incident *)
+
+(** One injected fault (or notable consequence), cycle-stamped. *)
+type fault = { f_seq : int; f_cycle : int; f_desc : string }
+
 (** {1 Low-level access stream (dynamic analysis)}
 
     With {!set_recording} on, the machine appends one {!access} per
@@ -248,6 +279,39 @@ module Probe : sig
 
   (** {2 Causal-profiling probes (lib/profile)} *)
 
+  (** {2 Timer probes (timed waits)}
+
+      Host-side bookkeeping: arming charges no cycle and adds no
+      scheduling point.  The deadline takes effect when the driver fires
+      due timers between steps ({!fire_due_timers}); the victim is woken
+      like any other wake and consumes {!take_timeout_fired} to tell
+      expiry from a Signal/V wake. *)
+
+  (** Arm (or re-arm) the calling thread's timer [cycles] from now. *)
+  val set_timeout : cycles:int -> unit
+
+  (** Disarm the calling thread's timer and clear any un-consumed fired
+      flag. *)
+  val cancel_timeout : unit -> unit
+
+  (** Consume and return the calling thread's timer-fired flag. *)
+  val take_timeout_fired : unit -> bool
+
+  (** {2 Chaos probes (lib/fault)} *)
+
+  (** True only while a fault-injection driver runs this machine: gates
+      degradation heuristics (e.g. spin-lock backoff) so uninjected runs
+      stay schedule-identical. *)
+  val chaos_active : unit -> bool
+
+  (** [register_chaos name f] registers a named package-level injection
+      entry point (spurious wakeup, contention burst, alert); the chaos
+      engine runs [f arg] from injector threads it spawns mid-run. *)
+  val register_chaos : string -> (int -> unit) -> unit
+
+  (** Record a package-level injected fault in the machine's fault log. *)
+  val inject_fault : string -> unit
+
   (** [will_block obj] annotates the caller's imminent deschedule with the
       synchronization object it waits on; the machine resolves the
       object's owner when the block commits.  No-op unless profiling. *)
@@ -350,6 +414,71 @@ val profiling : t -> bool
 val prof_events : t -> prof_event list
 
 val prof_event_count : t -> int
+
+(** {1 Timers (driver side)}
+
+    Drivers call {!fire_due_timers} between steps; when nothing is
+    runnable but timers remain, {!advance_to_next_timer} jumps the clock
+    to the earliest deadline (discrete-event idle time).  With no timers
+    armed both are no-ops, so timer-free runs are unchanged. *)
+
+val timers_pending : t -> bool
+
+(** Earliest armed deadline, in cycles. *)
+val next_timer : t -> int option
+
+(** Fire every timer whose deadline has passed: wake the victim (honouring
+    the wakeup-waiting switch) and set its fired flag. *)
+val fire_due_timers : t -> unit
+
+(** If any timer is armed: advance the clock to the earliest deadline,
+    fire it, and return [true]. *)
+val advance_to_next_timer : t -> bool
+
+(** {1 Fault injection (driver side)} *)
+
+(** Install (or remove) the wakeup-interrupt filter. *)
+val set_wake_filter : t -> (Threads_util.Tid.t -> wake_verdict) option -> unit
+
+(** Are any delayed wakeups still undelivered? *)
+val delayed_pending : t -> bool
+
+(** Earliest due-cycle among undelivered delayed wakeups. *)
+val next_delayed : t -> int option
+
+(** Deliver every delayed wakeup whose due-cycle has passed.  A wakeup
+    whose target has moved on (its wake episode ended via a timer or
+    another wake) is stale and is discarded — recorded, never delivered,
+    so it cannot spuriously wake an unrelated block. *)
+val flush_delayed : t -> unit
+
+(** Jump the clock forward (for delivering delayed wakeups at idle). *)
+val advance_clock : t -> to_:int -> unit
+
+(** [kill m t ~reason] crash-stops thread [t]: it fails with
+    {!Crash_stopped} {e without unwinding} — finalizers do not run, held
+    locks stay held — exactly a processor dying mid-critical-section.
+    Joiners are woken; subsequent wakeups of [t] are discarded (and
+    recorded) rather than being simulation errors. *)
+val kill : t -> Threads_util.Tid.t -> reason:string -> unit
+
+val was_killed : t -> Threads_util.Tid.t -> bool
+
+(** Gate for {!Probe.chaos_active}; set by fault-injection drivers. *)
+val set_chaos_active : t -> bool -> unit
+
+(** Driver-side fault record (the injector-thread equivalent is
+    {!Probe.inject_fault}): appends to {!faults} and bumps the
+    [chaos.faults] counter. *)
+val record_fault : t -> string -> unit
+
+(** Package-registered injection entry points, in registration order. *)
+val chaos_hooks : t -> (string * (int -> unit)) list
+
+(** The fault log, in injection order. *)
+val faults : t -> fault list
+
+val fault_count : t -> int
 
 (** Current holder of lock/object [id], per
     {!Probe.lock_acquired}/{!Probe.lock_released} bookkeeping. *)

@@ -81,12 +81,19 @@ let post_of ctx bindings (ev : Spec_trace.event) =
   match (ev.proc, ev.action, ev.outcome) with
   | "Acquire", _, _ -> set_obj "m" (Value.Thread self) st
   | "Release", _, _ -> set_obj "m" Value.Nil st
-  | ("Wait" | "AlertWait"), "Enqueue", _ ->
+  | ("Wait" | "AlertWait" | "TimedWait"), "Enqueue", _ ->
     let c = arg_obj bindings "c" in
     let members = Value.as_set (State.get st c) in
     let st = State.set st c (Value.Set (Tid.Set.add self members)) in
     set_obj "m" Value.Nil st
   | "Wait", "Resume", _ -> set_obj "m" (Value.Thread self) st
+  | "TimedWait", "TimedResume", Spec_trace.Ret ->
+    set_obj "m" (Value.Thread self) st
+  | "TimedWait", "TimedResume", Spec_trace.Raise _ ->
+    let c = arg_obj bindings "c" in
+    let members = Value.as_set (State.get st c) in
+    let st = State.set st c (Value.Set (Tid.Set.remove self members)) in
+    set_obj "m" (Value.Thread self) st
   | "AlertWait", "AlertResume", Spec_trace.Ret ->
     set_obj "m" (Value.Thread self) st
   | "AlertWait", "AlertResume", Spec_trace.Raise _ ->
@@ -111,6 +118,8 @@ let post_of ctx bindings (ev : Spec_trace.event) =
   | "AlertP", _, Spec_trace.Ret ->
     set_obj "s" (Value.Sem Value.Unavailable) st
   | "AlertP", _, Spec_trace.Raise _ -> alerts_del st
+  | "TimedP", _, Spec_trace.Ret -> set_obj "s" (Value.Sem Value.Unavailable) st
+  | "TimedP", _, Spec_trace.Raise _ -> st
   | proc, action, _ ->
     failwith (Printf.sprintf "unknown event %s.%s" proc action)
 

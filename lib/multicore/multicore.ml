@@ -387,6 +387,13 @@ module Sync = struct
   let wait m c = wait_generic c m ~alertable:false
   let alert_wait m c = wait_generic c m ~alertable:true
 
+  (* Timed waits need a deadline-aware parker; not implemented for the
+     hardware backend (the chaos/timeout workloads gate on the feature). *)
+  let timed_wait _m _c ~timeout:_ =
+    failwith "multicore backend: timed_wait unsupported"
+
+  let timed_p _s ~timeout:_ = failwith "multicore backend: timed_p unsupported"
+
   let wake_some c ~take_all =
     if not (traced ()) then begin
       if Atomic.get c.interest <> 0 then begin

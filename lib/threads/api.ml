@@ -21,6 +21,8 @@ let make pkg : sync =
     let broadcast = Condition.broadcast
     let p = Semaphore.p
     let v = Semaphore.v
+    let timed_wait m c ~timeout = Condition.timed_wait c m ~timeout
+    let timed_p = Semaphore.timed_p
 
     let alert target =
       Alerts.alert pkg.Pkg.alerts ~lock:pkg.Pkg.lock ~self:(Ops.self ())
@@ -39,6 +41,11 @@ let build ?fast_path body machine =
   ignore
     (Firefly.Machine.spawn_root machine (fun () ->
          let pkg = Pkg.create ?fast_path () in
+         (* Chaos hook: an alert storm targets thread [n] with a real
+            package-level Alert, exercising the cancellation paths. *)
+         Firefly.Machine.Probe.register_chaos "pkg.alert" (fun n ->
+             Alerts.alert pkg.Pkg.alerts ~lock:pkg.Pkg.lock
+               ~self:(Ops.self ()) ~target:n);
          body (make pkg)))
 
 let run ?fast_path ?seed ?strategy ?max_steps ?cost body =

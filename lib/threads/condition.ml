@@ -18,6 +18,10 @@ type t = {
          them in its removal to establish c_post = {} *)
 }
 
+(* Forward reference to [signal], for the chaos hook registered in
+   [create] (the definition order puts signal after create). *)
+let chaos_signal : (t -> unit) ref = ref (fun _ -> ())
+
 let create pkg =
   let evc = Firefly.Eventcount.create () in
   let interest = Ops.alloc 1 in
@@ -33,14 +37,24 @@ let create pkg =
     (Firefly.Eventcount.value_addr evc)
     M.W_eventcount
     (Printf.sprintf "cond#%d.evc" interest);
-  {
-    pkg;
-    evc;
-    interest;
-    q = Tqueue.create ();
-    window = Hashtbl.create 8;
-    departing = Hashtbl.create 8;
-  }
+  let c =
+    {
+      pkg;
+      evc;
+      interest;
+      q = Tqueue.create ();
+      window = Hashtbl.create 8;
+      departing = Hashtbl.create 8;
+    }
+  in
+  (* Chaos hook: a spurious wakeup is a package-level Signal — the spec's
+     subset ENSURES permits waking nobody-in-particular — never a raw
+     machine wake, which could violate Resume's WHEN.  [signal] is defined
+     below; the hook closes over a forward reference. *)
+  Probe.register_chaos
+    (Printf.sprintf "cond#%d.spurious" interest)
+    (fun k -> for _ = 1 to max 1 k do !chaos_signal c done);
+  c
 
 let id c = c.interest
 let name c = Printf.sprintf "cond#%d" c.interest
@@ -53,7 +67,7 @@ type wake = Stale | Alerted_now | Woken
    return at once (the wakeup-waiting race cover).  Equal: sleep on c's
    queue.  An alertable block that already has an alert pending departs
    immediately instead of sleeping. *)
-let block c i ~alertable =
+let block ?timeout c i ~alertable =
   let n = name c in
   let self = Ops.self () in
   Spinlock.acquire ~obs:n c.pkg.lock;
@@ -82,6 +96,9 @@ let block c i ~alertable =
           Hashtbl.replace c.departing self ();
           Probe.handoff ~obj:(id c) self;
           Ops.ready self);
+    (match timeout with
+    | Some cycles -> Probe.set_timeout ~cycles
+    | None -> ());
     Probe.will_block (id c);
     Ops.deschedule_and_clear (Spinlock.addr c.pkg.lock);
     Woken
@@ -139,6 +156,57 @@ let wait_generic c m ~proc ~alertable =
 let wait c m = wait_generic c m ~proc:"Wait" ~alertable:false
 let alert_wait c m = wait_generic c m ~proc:"AlertWait" ~alertable:true
 
+(* TimedWait = Enqueue; TimedResume.  The timer lives host-side in the
+   machine; the driver fires it between steps and wakes us.  On waking we
+   self-service: under the spin-lock, try to pull ourselves off the queue.
+   Winning means we really expired — mark [departing] (still abstractly a
+   member of c until TimedResume linearizes, so a racing Broadcast lists
+   us in its removal set) and raise once the mutex is back.  Losing the
+   race means a Signal/Broadcast dequeued us concurrently: the expiry
+   converts into a normal resume and the wakeup is not lost. *)
+let timed_wait c m ~timeout =
+  let n = name c in
+  let self = Ops.self () in
+  let t_start = Probe.now () in
+  Probe.counter (n ^ ".timed_waits") 1;
+  Probe.span_begin ~cat:"cond" ("wait " ^ n);
+  ignore (Ops.faa c.interest 1);
+  let i =
+    Ops.mem_emit
+      (M.M_read (Firefly.Eventcount.value_addr c.evc))
+      (fun _ ->
+        Hashtbl.replace c.window self ();
+        Some
+          (Events.enqueue ~proc:"TimedWait" ~self ~m:(Mutex.id m) ~c:(id c)))
+  in
+  Mutex.unlock_internal m ~event:(fun () -> None);
+  let wake = block ~timeout c i ~alertable:false in
+  (match Probe.span_end ("wait " ^ n) with
+  | Some d -> Probe.sample (n ^ ".wakeup_cycles") d
+  | None -> ());
+  let timed_out =
+    wake = Woken
+    && Probe.take_timeout_fired ()
+    && begin
+         Spinlock.acquire ~obs:n c.pkg.lock;
+         let still_queued = Tqueue.remove c.q self in
+         if still_queued then Hashtbl.replace c.departing self ();
+         Spinlock.release c.pkg.lock;
+         still_queued
+       end
+  in
+  Probe.cancel_timeout ();
+  let cid = id c in
+  Mutex.lock_internal m ~event:(fun () ->
+      Hashtbl.remove c.departing self;
+      Some (Events.timed_resume ~self ~m:(Mutex.id m) ~c:cid ~timed_out));
+  Probe.sample (n ^ ".wait_cycles") (Probe.now () - t_start);
+  ignore (Ops.faa c.interest (-1));
+  if timed_out then begin
+    Probe.counter (n ^ ".timeouts") 1;
+    raise Sync_intf.Timed_out
+  end
+
 (* Signal and Broadcast: user code skips the Nub when nobody is (or is
    committing to be) waiting; otherwise, under the spin-lock, advance the
    eventcount — atomically computing and logging the removal set — and
@@ -194,3 +262,4 @@ let wake_some c ~take_all =
 
 let signal c = wake_some c ~take_all:false
 let broadcast c = wake_some c ~take_all:true
+let () = chaos_signal := signal

@@ -39,6 +39,14 @@ val wait : t -> Mutex.t -> unit
     mutex. *)
 val alert_wait : t -> Mutex.t -> unit
 
+(** TimedWait(m, c) — like Wait but gives up after [timeout] simulated
+    cycles, raising {!Sync_intf.Timed_out} (after re-acquiring the mutex,
+    as the TimedResume spec clause requires).  Expiry self-services: the
+    waking thread pulls itself off the queue under the spin-lock; if a
+    Signal/Broadcast got there first the expiry converts into a normal
+    resume, so no wakeup is ever lost. *)
+val timed_wait : t -> Mutex.t -> timeout:int -> unit
+
 val signal : t -> unit
 val broadcast : t -> unit
 

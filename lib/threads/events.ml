@@ -36,3 +36,14 @@ let alert_p ~self ~s ~alerted =
   make ~proc:"AlertP" ~self ~args:[ ("s", Obj s) ]
     ~outcome:(if alerted then Raise "Alerted" else Ret)
     ()
+
+let timed_resume ~self ~m ~c ~timed_out =
+  make ~proc:"TimedWait" ~action:"TimedResume" ~self
+    ~args:[ ("m", Obj m); ("c", Obj c) ]
+    ~outcome:(if timed_out then Raise "TimedOut" else Ret)
+    ()
+
+let timed_p ~self ~s ~timed_out =
+  make ~proc:"TimedP" ~self ~args:[ ("s", Obj s) ]
+    ~outcome:(if timed_out then Raise "TimedOut" else Ret)
+    ()

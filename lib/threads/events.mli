@@ -28,3 +28,8 @@ val v : self:Tid.t -> s:int -> Spec_trace.event
 val alert : self:Tid.t -> target:Tid.t -> Spec_trace.event
 val test_alert : self:Tid.t -> result:bool -> Spec_trace.event
 val alert_p : self:Tid.t -> s:int -> alerted:bool -> Spec_trace.event
+
+val timed_resume :
+  self:Tid.t -> m:int -> c:int -> timed_out:bool -> Spec_trace.event
+
+val timed_p : self:Tid.t -> s:int -> timed_out:bool -> Spec_trace.event

@@ -155,6 +155,52 @@ let v s =
     Spinlock.release s.pkg.lock
   end
 
+(* TimedP: P that gives up after [timeout] simulated cycles.  One timer is
+   armed for the whole operation; after every wakeup we test whether it
+   was the timer (rather than a V) that woke us.  Expiry self-services
+   under the spin-lock: dequeue ourselves — a stale queue entry would let
+   a later V ready a finished thread — and, if the bit is free with
+   sleepers still queued, donate the wakeup we may have absorbed to the
+   next waiter, so a V that raced with our expiry is never lost. *)
+let timed_p s ~timeout =
+  let n = name s in
+  let self = Ops.self () in
+  let event () = Some (Events.timed_p ~self ~s:s.bit ~timed_out:false) in
+  Probe.set_timeout ~cycles:timeout;
+  let expire () =
+    Spinlock.acquire ~obs:n s.pkg.lock;
+    ignore (Tqueue.remove s.q self);
+    Ops.write s.waiters (Tqueue.length s.q);
+    if Ops.read s.bit = 0 then (
+      match Tqueue.pop s.q with
+      | Some t ->
+        Ops.write s.waiters (Tqueue.length s.q);
+        Alerts.unregister s.pkg.alerts t;
+        Probe.handoff ~obj:s.bit t;
+        Ops.ready t
+      | None -> ());
+    ignore
+      (Ops.mem_emit M.M_none (fun _ ->
+           Some (Events.timed_p ~self ~s:s.bit ~timed_out:true)));
+    Spinlock.release s.pkg.lock;
+    Probe.cancel_timeout ();
+    Probe.counter (n ^ ".timeouts") 1;
+    raise Sync_intf.Timed_out
+  in
+  let rec loop ~first =
+    if try_tas s ~fast:first ~event then Probe.cancel_timeout ()
+    else if Probe.take_timeout_fired () then expire ()
+    else begin
+      (match nub_p s ~alertable:false with
+      | `Alerted -> assert false (* non-alertable *)
+      | `Retry | `Acquired -> ());
+      if Probe.take_timeout_fired () then expire ();
+      loop ~first:false
+    end
+  in
+  Probe.counter (n ^ ".timed_ps") 1;
+  loop ~first:true
+
 let alert_p s =
   let self = Ops.self () in
   match

@@ -22,6 +22,13 @@ val id : t -> int
 val p : t -> unit
 val v : t -> unit
 
+(** TimedP: like {!p} but gives up after [timeout] simulated cycles.
+    Raises {!Sync_intf.Timed_out} with the semaphore untouched; a V racing
+    with the expiry is donated to the next queued waiter, never lost.
+
+    @raise Sync_intf.Timed_out when the timeout expires first. *)
+val timed_p : t -> timeout:int -> unit
+
 (** @raise Sync_intf.Alerted when the thread is alerted rather than
     acquiring the semaphore. *)
 val alert_p : t -> unit

@@ -3,10 +3,14 @@ module Probe = Firefly.Machine.Probe
 
 type t = { bit : int }
 
-let create ?(name = "spin-lock") () =
-  let bit = Ops.alloc 1 in
-  Probe.register_word bit Firefly.Machine.W_lock name;
-  { bit }
+(* Bounded exponential backoff between failed TASes, active only while a
+   chaos run has injection enabled ([Probe.chaos_active] is a host-side
+   test, so disabled runs execute the bare loop instruction-for-
+   instruction and stay schedule-identical to pre-backoff behavior).
+   Under an injected contention burst this keeps the bus from being
+   saturated by retry TASes. *)
+let backoff_start = 2
+let backoff_cap = 64
 
 (* [?obs] attributes contended spinning to the synchronization object
    whose Nub subroutine took the spin-lock: per-object spin-iteration and
@@ -15,13 +19,17 @@ let create ?(name = "spin-lock") () =
    sequence (and hence the schedule) is exactly that of the bare loop. *)
 let acquire ?obs l =
   let t0 = Probe.now () in
-  let rec go ~spun =
+  let rec go ~spun ~backoff =
     if Ops.tas l.bit then begin
       Ops.incr_counter "spin.iterations";
       (match obs with
       | Some n -> Probe.counter (n ^ ".spin_iters") 1
       | None -> ());
-      go ~spun:true
+      if Probe.chaos_active () then begin
+        Ops.tick backoff;
+        go ~spun:true ~backoff:(min (backoff * 2) backoff_cap)
+      end
+      else go ~spun:true ~backoff
     end
     else begin
       Probe.lock_acquired l.bit;
@@ -34,9 +42,24 @@ let acquire ?obs l =
         | None -> ()
     end
   in
-  go ~spun:false
+  go ~spun:false ~backoff:backoff_start
 
 let release l =
   Probe.lock_released l.bit;
   Ops.clear l.bit
+
 let addr l = l.bit
+
+let create ?(name = "spin-lock") () =
+  let bit = Ops.alloc 1 in
+  Probe.register_word bit Firefly.Machine.W_lock name;
+  let l = { bit } in
+  (* Chaos hook: a TAS contention burst is [n] acquire/release pairs from
+     an injector thread — real contention through the real instructions,
+     so lockset/happens-before analyses still see a well-formed history. *)
+  Probe.register_chaos (name ^ ".contend") (fun n ->
+      for _ = 1 to max 1 n do
+        acquire l;
+        release l
+      done);
+  l

@@ -10,6 +10,11 @@
 (** The exception of the alerting facility. *)
 exception Alerted
 
+(** The exception of the timed-wait facility: raised by {!SYNC.timed_wait}
+    and {!SYNC.timed_p} when the timeout expires before the operation can
+    complete. *)
+exception Timed_out
+
 module type SYNC = sig
   type mutex
   type condition
@@ -41,6 +46,21 @@ module type SYNC = sig
 
   val p : semaphore -> unit
   val v : semaphore -> unit
+
+  (** {1 Timed waits}
+
+      Spec clauses TimedWait (= COMPOSITION OF Enqueue; TimedResume) and
+      TimedP: either complete exactly like the untimed operation, or
+      raise {!Timed_out} — a timed-out [timed_wait] still re-acquires the
+      mutex first, and a timed-out [timed_p] leaves the semaphore
+      unchanged.  [timeout] is in simulated cycles on machine-hosted
+      backends and host nanoseconds elsewhere. *)
+
+  (** @raise Timed_out after [timeout] if not woken and resumed first. *)
+  val timed_wait : mutex -> condition -> timeout:int -> unit
+
+  (** @raise Timed_out after [timeout] if the semaphore stays unavailable. *)
+  val timed_p : semaphore -> timeout:int -> unit
 
   (** {1 Alerting} *)
 

@@ -118,6 +118,69 @@ let wait_generic st c m ~proc ~alertable =
   lock_loop st m ~event;
   if raise_it then raise Sync_intf.Alerted
 
+(* TimedWait: the self-service dequeue happens atomically with the
+   TimedResume emission at mutex re-acquisition, so "did we really time
+   out" and the event agree by construction: if a Signal/Broadcast
+   dequeued us first, the expiry converts into a normal resume. *)
+let timed_wait_impl st c m ~timeout =
+  let self = Ops.self () in
+  atomically (fun () ->
+      Tqueue.push c.cq self;
+      m.holder <- None;
+      M.Probe.lock_released m.mid;
+      Some (Events.enqueue ~proc:"TimedWait" ~self ~m:m.mid ~c:c.cid));
+  (match Tqueue.pop m.mq with
+  | Some t ->
+    M.Probe.handoff ~obj:m.mid t;
+    Ops.ready t
+  | None -> ());
+  M.Probe.set_timeout ~cycles:timeout;
+  M.Probe.will_block c.cid;
+  block st;
+  let timed_out = ref false in
+  lock_loop st m ~event:(fun () ->
+      if M.Probe.take_timeout_fired () && Tqueue.remove c.cq self then
+        timed_out := true;
+      M.Probe.cancel_timeout ();
+      Some
+        (Events.timed_resume ~self ~m:m.mid ~c:c.cid ~timed_out:!timed_out));
+  if !timed_out then raise Sync_intf.Timed_out
+
+(* TimedP: when the bit is free we always take it, even with the timer
+   already fired (RETURNS WHEN s = available has no timeout conjunct) —
+   which also makes a V racing with our expiry impossible to lose. *)
+let timed_p_impl st s ~timeout =
+  let self = Ops.self () in
+  M.Probe.set_timeout ~cycles:timeout;
+  let rec loop () =
+    let outcome = ref `Blocked in
+    atomically (fun () ->
+        if s.avail then begin
+          s.avail <- false;
+          outcome := `Got;
+          Some (Events.timed_p ~self ~s:s.sid ~timed_out:false)
+        end
+        else if M.Probe.take_timeout_fired () then begin
+          outcome := `Expired;
+          ignore (Tqueue.remove s.sq self);
+          Some (Events.timed_p ~self ~s:s.sid ~timed_out:true)
+        end
+        else begin
+          Tqueue.push s.sq self;
+          None
+        end);
+    match !outcome with
+    | `Got -> M.Probe.cancel_timeout ()
+    | `Expired ->
+      M.Probe.cancel_timeout ();
+      raise Sync_intf.Timed_out
+    | `Blocked ->
+      M.Probe.will_block s.sid;
+      block st;
+      loop ()
+  in
+  loop ()
+
 let wake_cond st c ~take_all ~self =
   let to_ready = ref [] in
   atomically (fun () ->
@@ -200,7 +263,15 @@ let make () : sync =
     let condition () =
       let cid = fresh_id st in
       M.Probe.register_lock cid (Printf.sprintf "cond#%d" cid);
-      { cq = Tqueue.create (); departing = Hashtbl.create 4; cid }
+      let c = { cq = Tqueue.create (); departing = Hashtbl.create 4; cid } in
+      (* Chaos hook: spurious wakeup = a real package-level Signal. *)
+      M.Probe.register_chaos
+        (Printf.sprintf "cond#%d.spurious" cid)
+        (fun k ->
+          for _ = 1 to max 1 k do
+            wake_cond st c ~take_all:false ~self:(Ops.self ())
+          done);
+      c
 
     let semaphore () =
       let sid = fresh_id st in
@@ -220,6 +291,7 @@ let make () : sync =
       Fun.protect ~finally:(fun () -> release m) f
 
     let wait m c = wait_generic st c m ~proc:"Wait" ~alertable:false
+    let timed_wait m c ~timeout = timed_wait_impl st c m ~timeout
 
     let signal c = wake_cond st c ~take_all:false ~self:(Ops.self ())
     let broadcast c = wake_cond st c ~take_all:true ~self:(Ops.self ())
@@ -255,6 +327,9 @@ let make () : sync =
         Hashtbl.replace st.woken target ();
         cancel ()
       | None -> ()
+
+    let timed_p s ~timeout = timed_p_impl st s ~timeout
+    let () = M.Probe.register_chaos "pkg.alert" alert
 
     let test_alert () =
       let self = Ops.self () in

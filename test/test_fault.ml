@@ -1,0 +1,305 @@
+(* Fault injection and chaos conformance.
+
+   Three claims are pinned here.  First, the injection machinery is free
+   when disabled: a run with the wakeup filter installed but answering
+   Deliver is cycle-, schedule- and trace-identical to a run without it.
+   Second, the robustness contract: for every chaos-capable backend x
+   workload x fault plan x seed, the run either completes conformant or
+   terminates with a diagnosed fault report naming the injected fault —
+   never a hang (the engine's step budget is the watchdog), never a spec
+   violation, never an unexplained failure.  Third, chaos runs are
+   deterministic: equal (backend, workload, plan, seed) render
+   byte-identical fault reports.
+
+   The alert-cancellation tests are the regression net for the paper's
+   wakeup-waiting incidents: under injected delayed-wakeup windows, an
+   Alert racing a V (or a Broadcast) must never lose the pending wakeup. *)
+
+module M = Firefly.Machine
+module Bk = Threads_backend.Backend
+module Wl = Threads_backend.Workload
+module Cc = Threads_backend.Crosscheck
+module Plan = Threads_fault.Plan
+module Engine = Threads_fault.Engine
+module Sync_intf = Taos_threads.Sync_intf
+
+let backend name =
+  match Bk.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "backend %S not registered" name
+
+let workload name =
+  match Wl.find name with
+  | Some w -> w
+  | None -> Alcotest.failf "workload %S not registered" name
+
+let chaos_backends = [ "sim"; "uniproc" ]
+
+(* ---- injection disabled: the hooks are free ---- *)
+
+(* The sim backend's build, inlined (the registry does not export its
+   builders): package created inside the root thread, exactly as
+   Backend.machine_run does it. *)
+let sim_run ~deliver_filter ~seed (wl : Wl.t) =
+  let observable = ref None in
+  let report =
+    Firefly.Interleave.run ~seed ~max_steps:2_000_000 (fun m ->
+        if deliver_filter then
+          M.set_wake_filter m (Some (fun _ -> M.Deliver));
+        ignore
+          (M.spawn_root m (fun () ->
+               let module S =
+                 (val Taos_threads.Api.make (Taos_threads.Pkg.create ()))
+               in
+               observable := Some (wl.Wl.body (module S)))))
+  in
+  (report, !observable)
+
+let disabled_is_identical () =
+  List.iter
+    (fun wname ->
+      let wl = workload wname in
+      List.iter
+        (fun seed ->
+          let plain, obs_plain = sim_run ~deliver_filter:false ~seed wl in
+          let hooked, obs_hooked = sim_run ~deliver_filter:true ~seed wl in
+          let label fmt = Printf.sprintf "%s seed %d: %s" wname seed fmt in
+          Alcotest.(check int)
+            (label "steps")
+            plain.Firefly.Interleave.steps hooked.Firefly.Interleave.steps;
+          Alcotest.(check int)
+            (label "cycles")
+            (M.total_cycles plain.Firefly.Interleave.machine)
+            (M.total_cycles hooked.Firefly.Interleave.machine);
+          Alcotest.(check bool)
+            (label "trace identical")
+            true
+            (M.trace plain.Firefly.Interleave.machine
+            = M.trace hooked.Firefly.Interleave.machine);
+          Alcotest.(check (option string)) (label "observable") obs_plain
+            obs_hooked)
+        [ 0; 3; 11 ])
+    [ "mutex"; "condvar"; "alert" ]
+
+(* ---- plan generation is reproducible ---- *)
+
+let plans_deterministic () =
+  for plan_id = 0 to 13 do
+    let a = Plan.generate ~plan_id in
+    let b = Plan.generate ~plan_id in
+    Alcotest.(check string)
+      (Printf.sprintf "plan %d reproducible" plan_id)
+      (Plan.describe a) (Plan.describe b);
+    Alcotest.(check bool)
+      (Printf.sprintf "plan %d structurally equal" plan_id)
+      true (a = b)
+  done
+
+(* ---- the robustness contract over the full matrix ---- *)
+
+(* 7 plans (every family) x 3 seeds per backend/workload pair: every run
+   must land in one of the two acceptable classes.  A Violation or
+   Unexplained anywhere — or a hang, which the step budget converts into
+   a Step_budget verdict — fails the suite. *)
+let chaos_matrix bname wname () =
+  let s = Cc.chaos (backend bname) (workload wname) ~plans:7 ~seeds:3 in
+  Alcotest.(check bool) "not skipped" false s.Cc.cs_skipped;
+  Alcotest.(check int) "full matrix ran" 21 (List.length s.Cc.cs_runs);
+  List.iter
+    (fun (r : Cc.chaos_run) ->
+      match r.Cc.c_class with
+      | Cc.Conformant | Cc.Diagnosed -> ()
+      | Cc.Violation | Cc.Unexplained ->
+        Alcotest.failf "%s/%s plan#%d seed=%d: %s\n%s" bname wname
+          r.Cc.c_plan.Plan.id r.Cc.c_seed
+          (Cc.class_name r.Cc.c_class)
+          (Plan.describe r.Cc.c_plan))
+    s.Cc.cs_runs;
+  Alcotest.(check bool) "chaos_ok" true (Cc.chaos_ok s)
+
+(* ---- chaos runs render byte-identical reports ---- *)
+
+let chaos_deterministic () =
+  List.iter
+    (fun bname ->
+      let render () =
+        Format.asprintf "%a" Cc.render_chaos
+          (Cc.chaos (backend bname) (workload "condvar") ~plans:3 ~seeds:2)
+      in
+      Alcotest.(check string)
+        (bname ^ " report byte-identical across runs")
+        (render ()) (render ()))
+    chaos_backends
+
+(* ---- diagnosed-failure pins ---- *)
+
+(* A dropped wakeup wedges the condvar workload: the watchdog must turn
+   the hang into a Deadlock verdict, and the fault log must name the
+   drop so the report attributes blame. *)
+let dropped_wakeup_diagnosed () =
+  let r =
+    Cc.chaos_one (backend "sim") (workload "condvar") ~seed:0
+      (Plan.generate ~plan_id:1)
+  in
+  Alcotest.(check string) "class" "diagnosed" (Cc.class_name r.Cc.c_class);
+  (match r.Cc.c_outcome.Engine.verdict with
+  | Engine.Deadlock (_ :: _) -> ()
+  | v -> Alcotest.failf "expected deadlock, got %a" Engine.pp_verdict v);
+  let dropped (f : M.fault) =
+    String.length f.M.f_desc >= 7
+    && List.exists
+         (fun sub ->
+           let n = String.length sub in
+           let rec at i =
+             i + n <= String.length f.M.f_desc
+             && (String.sub f.M.f_desc i n = sub || at (i + 1))
+           in
+           at 0)
+         [ "dropped" ]
+  in
+  Alcotest.(check bool) "fault log names the drop" true
+    (List.exists dropped r.Cc.c_outcome.Engine.injected)
+
+(* Crash-stop mid-critical-section: the victim dies holding the package
+   mutex, everyone else deadlocks behind it.  The thread failure must be
+   Crash_stopped (not an unwound exception) and the run Diagnosed. *)
+let crash_stop_diagnosed () =
+  let r =
+    Cc.chaos_one (backend "sim") (workload "mutex") ~seed:0
+      (Plan.generate ~plan_id:5)
+  in
+  Alcotest.(check string) "class" "diagnosed" (Cc.class_name r.Cc.c_class);
+  let failures = M.failures r.Cc.c_outcome.Engine.machine in
+  Alcotest.(check bool) "some thread crash-stopped" true (failures <> []);
+  List.iter
+    (fun (tid, e) ->
+      if e <> M.Crash_stopped then
+        Alcotest.failf "t%d failed with %s, not Crash_stopped" tid
+          (Printexc.to_string e))
+    failures
+
+(* ---- timed waits conform (TimedWait / TimedP spec clauses) ---- *)
+
+let timeout_conforms bname () =
+  let s = Cc.conform (backend bname) (workload "timeout") ~seeds:5 in
+  (match Cc.first_error s with
+  | Some e -> Alcotest.failf "%s/timeout: %s" bname e
+  | None -> ());
+  Alcotest.(check bool) "completed, agreed, 0 violations" true (Cc.ok s)
+
+(* ---- alert cancellation never loses a pending wakeup (S3) ---- *)
+
+(* Two races the paper's incident reports motivate, run under injected
+   delayed-wakeup windows:
+
+   - Alert vs V on a drained semaphore: whichever way AlertP resolves,
+     the V must survive — if the victim was alerted out, the final P
+     must find the token; if the victim consumed it, we replenish first.
+     A lost V deadlocks the main thread, which the engine would report
+     as Diagnosed — the test demands Conformant, so a loss fails.
+   - An alerted waiter next to a Mesa waiter under one Broadcast: both
+     must exit, the alertee via Alerted, the waiter via the predicate. *)
+let alert_cancel_wl : Wl.t =
+  {
+    Wl.name = "alert-cancel";
+    description = "alert racing V and Broadcast keeps pending wakeups";
+    needs = [ Wl.Alerts ];
+    body =
+      (fun (module S : Sync_intf.SYNC) ->
+        let s = S.semaphore () in
+        S.p s;
+        let got = ref false in
+        let victim =
+          S.fork (fun () ->
+              match S.alert_p s with
+              | () -> got := true
+              | exception Sync_intf.Alerted -> ())
+        in
+        S.alert victim;
+        S.v s;
+        S.join victim;
+        if !got then S.v s;
+        S.p s;
+        let m = S.mutex () in
+        let c = S.condition () in
+        let flag = ref false in
+        let alerted = ref false in
+        let aw =
+          S.fork (fun () ->
+              try S.with_lock m (fun () -> S.alert_wait m c)
+              with Sync_intf.Alerted -> alerted := true)
+        in
+        let w =
+          S.fork (fun () ->
+              S.with_lock m (fun () ->
+                  while not !flag do
+                    S.wait m c
+                  done))
+        in
+        S.alert aw;
+        S.with_lock m (fun () -> flag := true);
+        S.broadcast c;
+        S.join aw;
+        S.join w;
+        Printf.sprintf "p=%s alerted=%b" (if !got then "got" else "alerted")
+          !alerted);
+  }
+
+(* Plan ids 0 and 7 are both the delayed-wakeups family with different
+   jitter; 10 seeds each, on both chaos-capable backends.  Every run
+   must complete conformant: a lost Signal/V surfaces as Diagnosed
+   (deadlock) and fails. *)
+let alert_under_delayed_wakeups bname () =
+  let b = backend bname in
+  List.iter
+    (fun plan_id ->
+      let plan = Plan.generate ~plan_id in
+      for seed = 0 to 9 do
+        let r = Cc.chaos_one b alert_cancel_wl ~seed plan in
+        if r.Cc.c_class <> Cc.Conformant then
+          Alcotest.failf "%s plan#%d seed=%d: %s (verdict %a)" bname plan_id
+            seed
+            (Cc.class_name r.Cc.c_class)
+            Engine.pp_verdict r.Cc.c_outcome.Engine.verdict;
+        Alcotest.(check int)
+          (Printf.sprintf "%s plan#%d seed=%d: no violations" bname plan_id
+             seed)
+          0
+          (List.length r.Cc.c_report.Threads_model.Conformance.errors)
+      done)
+    [ 0; 7 ]
+
+let matrix_cases =
+  List.concat_map
+    (fun b ->
+      List.map
+        (fun w ->
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s: 7 plans x 3 seeds all explained" b w)
+            `Quick (chaos_matrix b w))
+        [ "mutex"; "condvar"; "semaphore"; "timeout" ])
+    chaos_backends
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "disabled injection is schedule-identical" `Quick
+        disabled_is_identical;
+      Alcotest.test_case "plan generation reproducible" `Quick
+        plans_deterministic;
+      Alcotest.test_case "chaos reports deterministic" `Quick
+        chaos_deterministic;
+      Alcotest.test_case "dropped wakeup -> diagnosed deadlock" `Quick
+        dropped_wakeup_diagnosed;
+      Alcotest.test_case "crash-stop -> diagnosed, no unwinding" `Quick
+        crash_stop_diagnosed;
+      Alcotest.test_case "sim timeout workload conforms" `Quick
+        (timeout_conforms "sim");
+      Alcotest.test_case "uniproc timeout workload conforms" `Quick
+        (timeout_conforms "uniproc");
+      Alcotest.test_case "sim alert cancellation keeps wakeups" `Quick
+        (alert_under_delayed_wakeups "sim");
+      Alcotest.test_case "uniproc alert cancellation keeps wakeups" `Quick
+        (alert_under_delayed_wakeups "uniproc");
+    ]
+    @ matrix_cases )

@@ -135,10 +135,10 @@ let test_interrupt_cannot_block () =
                Ops.deschedule_and_clear a)))
   in
   (match M.failures r.Firefly.Interleave.machine with
-  | [ (0, Failure msg) ] ->
-    Alcotest.(check bool) "message" true
-      (msg = "interrupt routine attempted to block")
-  | _ -> Alcotest.fail "expected interrupt failure")
+  | [ (0, M.Interrupt_blocked ctx) ] ->
+    Alcotest.(check bool) "context names the blocking op" true
+      (String.length ctx > 0)
+  | _ -> Alcotest.fail "expected Interrupt_blocked failure")
 
 let test_counters_and_instr () =
   let r =

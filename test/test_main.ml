@@ -39,6 +39,7 @@ let () =
       Test_failures.suite;
       Test_multicore.suite;
       Test_cross_backend.suite;
+      Test_fault.suite;
       Test_analysis.suite;
       Test_profile.suite;
     ]
