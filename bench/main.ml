@@ -225,6 +225,91 @@ let chaos_injected =
     (Staged.stage (fun () ->
          ignore (chaos_driver ~seed:7 ~plan:chaos_delay_plan analysis_workload)))
 
+(* Scale-out arms: the same conformance matrix run sequentially and
+   spread over every available domain by the work-stealing executor.
+   The summaries are byte-identical (pinned in test/test_runner.ml); the
+   ratio of the two timings is the scale-out speedup on this host.  On a
+   single-core container the "max" arm measures pure executor overhead
+   instead — `scale_jobs` in the JSON says which. *)
+let scale_backend = Option.get (Threads_backend.Backend.find "uniproc")
+let scale_workload = Option.get (Threads_backend.Workload.find "condvar")
+let scale_seeds = 8
+let scale_jobs = Threads_runner.recommended_jobs ()
+
+let scale_seq =
+  Test.make ~name:"scale/conform 8 seeds, jobs=1"
+    (Staged.stage (fun () ->
+         ignore
+           (Threads_backend.Crosscheck.conform ~jobs:1 scale_backend
+              scale_workload ~seeds:scale_seeds)))
+
+let scale_par =
+  Test.make ~name:"scale/conform 8 seeds, jobs=max"
+    (Staged.stage (fun () ->
+         ignore
+           (Threads_backend.Crosscheck.conform ~jobs:scale_jobs scale_backend
+              scale_workload ~seeds:scale_seeds)))
+
+(* Schedule-exploration arms: exhaustive DFS vs sleep-set DPOR on the
+   wakeup-waiting scenario (the one scenario small enough for DFS to
+   finish quickly).  Both traverse the full tree; DPOR visits a fraction
+   of the executions — the deterministic reduction itself is recorded in
+   the JSON's `dpor` block, these arms time it. *)
+let explore_scenario =
+  Option.get (Threads_harness.Explore_scenarios.find "wakeup-waiting")
+
+let explore_dfs =
+  Test.make ~name:"explore/wakeup-waiting dfs"
+    (Staged.stage (fun () ->
+         ignore
+           (Firefly.Explore.explore_all
+              ~max_depth:explore_scenario.Threads_harness.Explore_scenarios.max_depth
+              ~build:explore_scenario.Threads_harness.Explore_scenarios.build
+              explore_scenario.Threads_harness.Explore_scenarios.check)))
+
+let explore_dpor =
+  Test.make ~name:"explore/wakeup-waiting dpor"
+    (Staged.stage (fun () ->
+         ignore
+           (Firefly.Explore.explore_dpor
+              ~max_depth:explore_scenario.Threads_harness.Explore_scenarios.max_depth
+              ~build:explore_scenario.Threads_harness.Explore_scenarios.build
+              explore_scenario.Threads_harness.Explore_scenarios.check)))
+
+(* The reduction is deterministic (same scenario, same tree): measured
+   once outside the timing loop, like `arm_sim_cycles`. *)
+let dpor_block =
+  let s = explore_scenario in
+  let module Sc = Threads_harness.Explore_scenarios in
+  let dfs_v, dfs_stats, dfs_complete =
+    Firefly.Explore.explore_all ~max_depth:s.Sc.max_depth ~build:s.Sc.build
+      s.Sc.check
+  in
+  let dpor_v, dpor_stats =
+    Firefly.Explore.explore_dpor ~max_depth:s.Sc.max_depth ~build:s.Sc.build
+      s.Sc.check
+  in
+  let dfs_execs = dfs_stats.Firefly.Explore.terminal_runs
+                  + dfs_stats.Firefly.Explore.truncated_runs
+  in
+  let open Obs.Json in
+  Obj
+    [
+      ("scenario", String s.Sc.name);
+      ("dfs_executions", Int dfs_execs);
+      ("dfs_complete", Bool dfs_complete);
+      ("dpor_executions", Int dpor_stats.Firefly.Explore.executions);
+      ("dpor_sleep_blocked", Int dpor_stats.Firefly.Explore.sleep_blocked);
+      ("dpor_complete", Bool dpor_stats.Firefly.Explore.complete);
+      ( "prune_pct",
+        Float
+          (100.
+          *. (1.
+             -. float_of_int dpor_stats.Firefly.Explore.executions
+                /. float_of_int (max 1 dfs_execs))) );
+      ("violations_agree", Bool (dfs_v = dpor_v));
+    ]
+
 let benchmark ~quick tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -354,6 +439,8 @@ let bench_json ~quick rows =
     [
       ("schema_version", Int 1);
       ("quick", Bool quick);
+      ("scale_jobs", Int scale_jobs);
+      ("dpor", dpor_block);
       ("benchmarks", Arr (List.map record rows));
     ]
 
@@ -385,6 +472,10 @@ let () =
         analysis_pass;
         chaos_empty;
         chaos_injected;
+        scale_seq;
+        scale_par;
+        explore_dfs;
+        explore_dpor;
       ]
   in
   let results = benchmark ~quick tests in

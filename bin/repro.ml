@@ -323,6 +323,21 @@ let trace_cmd =
 module Bk = Threads_backend.Backend
 module Wl = Threads_backend.Workload
 module Cc = Threads_backend.Crosscheck
+module Runner = Threads_runner
+
+(* Shared --jobs flag: 0 means "ask the runtime", 1 (the default) stays
+   sequential, N > 1 spreads the run matrix over N domains.  Reports are
+   byte-identical whatever the value. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the run matrix ($(b,0) = one per available \
+           core).  Results are merged in deterministic order, so output \
+           does not depend on $(docv)")
+
+let resolve_jobs = Runner.resolve_jobs
 
 let resolve_workloads name =
   if name = "all" then Wl.all
@@ -367,7 +382,8 @@ let conform_cmd =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N"
            ~doc:"Number of seeds (schedules) per workload")
   in
-  let run backend workload seeds =
+  let run backend workload seeds jobs =
+    let jobs = resolve_jobs jobs in
     let b =
       match Bk.find backend with
       | Some b -> b
@@ -379,7 +395,7 @@ let conform_cmd =
     let failed = ref false in
     List.iter
       (fun (wl : Wl.t) ->
-        let s = Cc.conform b wl ~seeds in
+        let s = Cc.conform ~jobs b wl ~seeds in
         if s.Cc.skipped then
           Printf.printf "%-10s skipped (backend lacks a required feature)\n"
             wl.name
@@ -410,7 +426,7 @@ let conform_cmd =
           linearization-point trace against the formal specification, and \
           report violations (non-zero exit if a conforming backend \
           diverges)")
-    Term.(const run $ backend $ workload $ seeds)
+    Term.(const run $ backend $ workload $ seeds $ jobs_arg)
 
 let diff_cmd =
   let workload =
@@ -421,11 +437,12 @@ let diff_cmd =
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N"
            ~doc:"Number of seeds (schedules) per backend")
   in
-  let run workload seeds =
+  let run workload seeds jobs =
+    let jobs = resolve_jobs jobs in
     let failed = ref false in
     List.iter
       (fun (wl : Wl.t) ->
-        let summaries = Cc.diff wl ~seeds in
+        let summaries = Cc.diff ~jobs wl ~seeds in
         let t =
           Threads_util.Table.create
             ~title:
@@ -465,7 +482,7 @@ let diff_cmd =
           verdicts, observables and spec-conformance side by side; the \
           deliberately-broken baselines must diverge exactly where E5/E8 \
           predict (non-zero exit if a conforming backend diverges)")
-    Term.(const run $ workload $ seeds)
+    Term.(const run $ workload $ seeds $ jobs_arg)
 
 (* ---- chaos conformance: fault injection x spec conformance ---- *)
 
@@ -493,7 +510,8 @@ let chaos_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the full fault reports to $(docv) instead of stdout")
   in
-  let run backend workload plans seeds out =
+  let run backend workload plans seeds out jobs =
+    let jobs = resolve_jobs jobs in
     let b =
       match Bk.find backend with
       | Some b -> b
@@ -513,14 +531,35 @@ let chaos_cmd =
       exit 1
     end;
     let failed = ref false in
-    let buf = Buffer.create 4096 in
-    let ppf = Format.formatter_of_buffer buf in
+    (* Stream the report: each run is rendered and dropped as its turn
+       comes, so memory stays flat however large the matrix is.  With
+       --out=FILE chunks go straight to the file; on stdout they are
+       buffered so the progress lines keep printing first, like before. *)
+    let emit, finish =
+      if out = "-" then begin
+        let buf = Buffer.create 4096 in
+        (Buffer.add_string buf, fun () -> print_string (Buffer.contents buf))
+      end
+      else begin
+        let oc =
+          try open_out out
+          with Sys_error e ->
+            Printf.eprintf "cannot write %s: %s\n" out e;
+            exit 1
+        in
+        let written = ref 0 in
+        ( (fun s ->
+            written := !written + String.length s;
+            output_string oc s),
+          fun () ->
+            close_out oc;
+            Printf.printf "wrote %s (%d bytes)\n" out !written )
+      end
+    in
     List.iter
       (fun (wl : Wl.t) ->
-        let s = Cc.chaos b wl ~plans ~seeds in
-        Cc.render_chaos ppf s;
-        Format.pp_print_flush ppf ();
-        if s.Cc.cs_skipped then
+        let t = Cc.chaos_stream ~jobs ~emit b wl ~plans ~seeds in
+        if t.Cc.ct_skipped then
           Printf.printf "%-10s skipped (backend lacks a required feature)\n"
             wl.name
         else begin
@@ -528,22 +567,18 @@ let chaos_cmd =
             (String.concat ", "
                (List.map
                   (fun (k, n) -> Printf.sprintf "%dx %s" n k)
-                  (Cc.chaos_classes s)));
-          if not (Cc.chaos_ok s) then begin
+                  t.Cc.ct_classes));
+          if not (Cc.chaos_totals_ok t) then begin
             failed := true;
             List.iter
-              (fun (r : Cc.chaos_run) ->
-                match r.Cc.c_class with
-                | Cc.Violation | Cc.Unexplained ->
-                  Printf.printf "           FAIL %s plan#%d seed=%d\n"
-                    (Cc.class_name r.Cc.c_class) r.Cc.c_plan.Threads_fault.Plan.id
-                    r.Cc.c_seed
-                | Cc.Conformant | Cc.Diagnosed -> ())
-              s.Cc.cs_runs
+              (fun (plan, seed, cls) ->
+                Printf.printf "           FAIL %s plan#%d seed=%d\n"
+                  (Cc.class_name cls) plan seed)
+              t.Cc.ct_failures
           end
         end)
       (resolve_workloads workload);
-    write_out ~out (Buffer.contents buf);
+    finish ();
     if !failed then begin
       Printf.printf
         "FAIL: %s left a run unexplained or in violation under injection\n"
@@ -562,7 +597,213 @@ let chaos_cmd =
           fault — never a silent hang or a spec violation (non-zero exit \
           otherwise).  Equal (backend, workload, plan, seed) produce \
           byte-identical reports")
-    Term.(const run $ backend $ workload $ plans $ seeds $ out)
+    Term.(const run $ backend $ workload $ plans $ seeds $ out $ jobs_arg)
+
+(* ---- systematic schedule exploration: DPOR vs exhaustive DFS ---- *)
+
+module Ex = Firefly.Explore
+module Sc = Threads_harness.Explore_scenarios
+
+let explore_cmd =
+  let scenario =
+    Arg.(value & opt string "all" & info [ "scenario" ] ~docv:"S"
+           ~doc:"Scenario name, or $(b,all); see the list on error")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("dpor", `Dpor); ("dfs", `Dfs); ("both", `Both) ]) `Dpor
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,dpor) (sleep-set dynamic partial-order reduction), \
+             $(b,dfs) (plain exhaustive search) or $(b,both) (run both \
+             and compare their violation sets)")
+  in
+  let max_runs =
+    Arg.(value & opt int 1_000_000 & info [ "max-runs" ] ~docv:"N"
+           ~doc:"Execution budget per search (per frozen prefix for DPOR)")
+  in
+  let split =
+    Arg.(value & opt int 2 & info [ "split-branches" ] ~docv:"D"
+           ~doc:
+             "Branch depth of the exhaustive frontier split handed to the \
+              parallel workers (independent of --jobs, so results are \
+              too)")
+  in
+  let min_prune =
+    Arg.(value & opt (some float) None & info [ "min-prune" ] ~docv:"PCT"
+           ~doc:
+             "With --mode=both: fail unless DPOR explores at least \
+              $(docv)% fewer executions than DFS")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON report to $(docv) instead of stdout")
+  in
+  let run scenario mode max_runs split min_prune format out jobs =
+    let jobs = resolve_jobs jobs in
+    let scenarios =
+      if scenario = "all" then Sc.all
+      else
+        match Sc.find scenario with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "unknown scenario %s; available: %s, all\n" scenario
+            (String.concat ", "
+               (List.map (fun (s : Sc.t) -> s.Sc.name) Sc.all));
+          exit 1
+    in
+    let failed = ref false in
+    let fail fmt = Printf.ksprintf (fun m -> failed := true;
+        Printf.printf "FAIL: %s\n" m) fmt
+    in
+    let t =
+      Threads_util.Table.create
+        ~aligns:[ Threads_util.Table.Left; Threads_util.Table.Right;
+                  Threads_util.Table.Right; Threads_util.Table.Right;
+                  Threads_util.Table.Right; Threads_util.Table.Left ]
+        ~title:
+          (Printf.sprintf "explore: %d worker domain(s), frontier split at \
+                           %d branch(es)" jobs split)
+        [ "scenario"; "dfs execs"; "dpor execs"; "sleep-pruned"; "prune";
+          "violations" ]
+    in
+    let records = ref [] in
+    List.iter
+      (fun (s : Sc.t) ->
+        let dpor =
+          if mode = `Dfs then None
+          else
+            Some
+              (Ex.explore_dpor_parallel ~max_depth:s.Sc.max_depth ~max_runs
+                 ~split_branches:split ~jobs ~build:s.Sc.build s.Sc.check)
+        in
+        let dfs =
+          if mode = `Dpor then None
+          else
+            Some
+              (Ex.explore_all ~max_depth:s.Sc.max_depth ~max_runs
+                 ~build:s.Sc.build s.Sc.check)
+        in
+        let found =
+          match (dpor, dfs) with
+          | Some (v, _), _ -> v
+          | None, Some (v, _, _) -> v
+          | None, None -> assert false
+        in
+        (match dpor with
+        | Some (_, ds) when not ds.Ex.complete ->
+          fail "%s: DPOR exhausted its execution budget (%d)" s.Sc.name
+            max_runs
+        | _ -> ());
+        if found <> s.Sc.expect then
+          fail "%s: violation set mismatch\n  found:    [%s]\n  expected: [%s]"
+            s.Sc.name
+            (String.concat "; " found)
+            (String.concat "; " s.Sc.expect);
+        (match (dpor, dfs) with
+        | Some (dv, _), Some (fv, _, true) ->
+          if dv <> fv then
+            fail "%s: DPOR and DFS disagree\n  dpor: [%s]\n  dfs:  [%s]"
+              s.Sc.name (String.concat "; " dv) (String.concat "; " fv)
+        | _ -> ());
+        let dfs_execs =
+          match dfs with
+          | Some (_, st, _) -> Some (st.Ex.terminal_runs + st.Ex.truncated_runs)
+          | None -> None
+        in
+        let dpor_execs =
+          match dpor with Some (_, ds) -> Some ds.Ex.executions | None -> None
+        in
+        (* If DFS hit its budget the observed count undercounts the true
+           tree, so this prune ratio is a conservative lower bound. *)
+        let prune =
+          match (dpor_execs, dfs_execs) with
+          | Some d, Some f when f > 0 ->
+            Some (100. *. (1. -. (float_of_int d /. float_of_int f)))
+          | _ -> None
+        in
+        (match (min_prune, prune) with
+        | Some want, Some got when got < want ->
+          fail "%s: DPOR pruned %.1f%%, below the required %.1f%%" s.Sc.name
+            got want
+        | Some _, None ->
+          fail "%s: --min-prune needs --mode=both" s.Sc.name
+        | _ -> ());
+        let cell = function Some n -> string_of_int n | None -> "-" in
+        Threads_util.Table.add_row t
+          [ s.Sc.name; cell dfs_execs; cell dpor_execs;
+            (match dpor with
+            | Some (_, ds) -> string_of_int ds.Ex.sleep_blocked
+            | None -> "-");
+            (match prune with
+            | Some p -> Printf.sprintf "%.1f%%" p
+            | None -> "-");
+            (if found = [] then "none"
+             else String.concat " | " found) ];
+        records :=
+          Obs.Json.Obj
+            ([ ("scenario", Obs.Json.String s.Sc.name);
+               ("expected_ok", Obs.Json.Bool (found = s.Sc.expect));
+               ("violations",
+                Obs.Json.Arr (List.map (fun v -> Obs.Json.String v) found)) ]
+            @ (match dpor with
+              | Some (_, ds) ->
+                [ ("dpor_executions", Obs.Json.Int ds.Ex.executions);
+                  ("dpor_sleep_blocked", Obs.Json.Int ds.Ex.sleep_blocked);
+                  ("dpor_steps", Obs.Json.Int ds.Ex.dpor_steps);
+                  ("dpor_complete", Obs.Json.Bool ds.Ex.complete) ]
+              | None -> [])
+            @ (match dfs with
+              | Some (_, st, complete) ->
+                [ ("dfs_executions",
+                   Obs.Json.Int (st.Ex.terminal_runs + st.Ex.truncated_runs));
+                  ("dfs_steps", Obs.Json.Int st.Ex.total_steps);
+                  ("dfs_complete", Obs.Json.Bool complete) ]
+              | None -> [])
+            @
+            match prune with
+            | Some p -> [ ("prune_pct", Obs.Json.Float p) ]
+            | None -> [])
+          :: !records)
+      scenarios;
+    (match format with
+    | `Json ->
+      write_out ~out
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("schema_version", Obs.Json.Int 1);
+                ("jobs", Obs.Json.Int jobs);
+                ("split_branches", Obs.Json.Int split);
+                ("scenarios", Obs.Json.Arr (List.rev !records)) ])
+        ^ "\n")
+    | `Table -> Threads_util.Table.print t);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore every schedule of a small scenario — the \
+          wakeup-waiting window, Alert racing Signal, E5's semaphore-encoded \
+          broadcast, E8's Hoare hand-off — with sleep-set dynamic \
+          partial-order reduction driven by the simulator's per-step \
+          footprints, splitting the schedule tree across --jobs worker \
+          domains (results are independent of the worker count).  \
+          --mode=both cross-checks the DPOR violation set against plain \
+          exhaustive DFS and reports the pruning ratio; non-zero exit on \
+          any mismatch with the scenario's pinned expectation")
+    Term.(
+      const run $ scenario $ mode $ max_runs $ split $ min_prune $ format
+      $ out $ jobs_arg)
 
 (* ---- dynamic race / lock-order analysis and the spec linter ---- *)
 
@@ -617,7 +858,12 @@ let analyze_report_json name (r : An.report) extra findings =
     @ extra
     @ [ ("findings", Arr (List.map (fun s -> String s) findings)) ])
 
-let analyze_mutants filter seed ~format ~out =
+let analyze_mutants filter seed ~jobs ~format ~out =
+  let scenarios = Array.of_list Mu.all in
+  let reports =
+    Runner.Matrix.map ~jobs ~n:(Array.length scenarios) (fun i ->
+        An.of_machine (scenarios.(i).Mu.m_run ~seed))
+  in
   let t =
     Threads_util.Table.create
       ~aligns:[ Threads_util.Table.Left; Threads_util.Table.Right; Threads_util.Table.Right; Threads_util.Table.Right;
@@ -629,9 +875,9 @@ let analyze_mutants filter seed ~format ~out =
   let failures = ref [] in
   let details = ref [] in
   let records = ref [] in
-  List.iter
-    (fun (s : Mu.scenario) ->
-      let r = An.of_machine (s.Mu.m_run ~seed) in
+  Array.iteri
+    (fun i (s : Mu.scenario) ->
+      let r = reports.(i) in
       let expected, caught =
         match s.Mu.m_expect with
         | Mu.Hb -> ("hb race", r.An.hb <> [] && r.An.lockset = [])
@@ -659,7 +905,7 @@ let analyze_mutants filter seed ~format ~out =
       Threads_util.Table.add_row t
         (report_summary_row s.Mu.m_name r
            (Printf.sprintf "%s %s" expected (if caught then "(caught)" else "(MISSED)"))))
-    Mu.all;
+    scenarios;
   (match format with
   | `Json ->
     write_out ~out
@@ -680,7 +926,7 @@ let analyze_mutants filter seed ~format ~out =
     List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
     exit 1
 
-let analyze_backend filter backend workload seed ~format ~out =
+let analyze_backend filter backend workload seed ~jobs ~format ~out =
   let b =
     match Bk.find backend with
     | Some b -> b
@@ -688,6 +934,15 @@ let analyze_backend filter backend workload seed ~format ~out =
       Printf.eprintf "unknown backend %s; available: %s\n" backend
         (String.concat ", " (Bk.names ()));
       exit 1
+  in
+  (* The expensive part — running the workload and replaying its access
+     stream through the analyzers — is a parallel matrix over workloads;
+     rendering below stays sequential and deterministic. *)
+  let wls = Array.of_list (resolve_workloads workload) in
+  let analyses =
+    Runner.Matrix.map ~jobs ~n:(Array.length wls) (fun i ->
+        if Bk.supports b wls.(i) then Some (An.run_backend b ~seed wls.(i))
+        else None)
   in
   let t =
     Threads_util.Table.create
@@ -705,10 +960,10 @@ let analyze_backend filter backend workload seed ~format ~out =
     Obs.Json.Obj
       [ ("name", Obs.Json.String name); ("status", Obs.Json.String status) ]
   in
-  List.iter
-    (fun (wl : Wl.t) ->
-      if Bk.supports b wl then begin
-        let res = An.run_backend b ~seed wl in
+  Array.iteri
+    (fun i (wl : Wl.t) ->
+      match analyses.(i) with
+      | Some res -> (
         match res.An.br_report with
         | None ->
           records := skipped_record wl.Wl.name "uninstrumented" :: !records;
@@ -728,14 +983,12 @@ let analyze_backend filter backend workload seed ~format ~out =
               (filtered_findings filter r)
             :: !records;
           Threads_util.Table.add_row t
-            (report_summary_row wl.Wl.name r verdict)
-      end
-      else begin
+            (report_summary_row wl.Wl.name r verdict))
+      | None ->
         records := skipped_record wl.Wl.name "skipped" :: !records;
         Threads_util.Table.add_row t
-          [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "skipped" ]
-      end)
-    (resolve_workloads workload);
+          [ wl.Wl.name; "-"; "-"; "-"; "-"; "-"; "-"; "skipped" ])
+    wls;
   let findings = List.concat (List.rev !findings) in
   (match format with
   | `Json ->
@@ -799,16 +1052,17 @@ let analyze_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the JSON report to $(docv) instead of stdout")
   in
-  let run backend workload seed mutants races lock_order format out =
+  let run backend workload seed mutants races lock_order format out jobs =
     setup ();
+    let jobs = resolve_jobs jobs in
     let filter =
       match (races, lock_order) with
       | true, false -> Races_only
       | false, true -> Lock_order_only
       | _ -> All
     in
-    if mutants then analyze_mutants filter seed ~format ~out
-    else analyze_backend filter backend workload seed ~format ~out
+    if mutants then analyze_mutants filter seed ~jobs ~format ~out
+    else analyze_backend filter backend workload seed ~jobs ~format ~out
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -822,7 +1076,7 @@ let analyze_cmd =
           $(b,--format=json --out=FILE) emits the report machine-readably")
     Term.(
       const run $ backend $ workload $ seed $ mutants $ races $ lock_order
-      $ format $ out)
+      $ format $ out $ jobs_arg)
 
 (* ---- causal profiler ---- *)
 
@@ -987,5 +1241,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd;
-            conform_cmd; diff_cmd; chaos_cmd; analyze_cmd; profile_cmd;
-            lint_spec_cmd ]))
+            conform_cmd; diff_cmd; chaos_cmd; explore_cmd; analyze_cmd;
+            profile_cmd; lint_spec_cmd ]))

@@ -61,12 +61,14 @@ let product lists =
    over the argument pool, and [alerts] over all two-thread subsets. *)
 let enumerate iface (p : P.t) =
   let formals =
-    List.map
-      (fun (f : P.formal) ->
+    List.mapi
+      (fun i (f : P.formal) ->
         let sort = P.formal_sort iface p f.f_name in
         match f.f_mode with
         | P.By_var ->
-          let obj = Spec_core.Spec_obj.create f.f_name sort in
+          (* Positional id: linter output is independent of process
+             history and of which domain ran the pass. *)
+          let obj = Spec_core.Spec_obj.make ~oid:(i + 1) f.f_name sort in
           List.map
             (fun v ->
               ((f.f_name, Spec_core.Term.Obj obj), fun st ->

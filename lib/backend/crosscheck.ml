@@ -15,15 +15,26 @@ type summary = {
 
 let iface = Spec_core.Threads_interface.final
 
-let conform (backend : Backend.t) (workload : Workload.t) ~seeds =
+module Matrix = Threads_runner.Matrix
+
+let conform_cell (backend : Backend.t) (workload : Workload.t) seed =
+  let outcome = backend.run ~seed workload in
+  let report = Conformance.check iface outcome.trace in
+  { seed; outcome; report }
+
+(* Matrix cells are independent: each run builds its own machine, the
+   ambient probe slot is domain-local, and the scheduler RNG is seeded
+   per cell — so [Matrix.map] may execute them on any domain in any
+   order.  Results come back in index order, keeping reports
+   byte-identical whatever [jobs] is. *)
+let conform ?(jobs = 1) (backend : Backend.t) (workload : Workload.t) ~seeds =
   if not (Backend.supports backend workload) then
     { backend; workload; skipped = true; runs = [] }
   else
     let runs =
-      List.init seeds (fun seed ->
-          let outcome = backend.run ~seed workload in
-          let report = Conformance.check iface outcome.trace in
-          { seed; outcome; report })
+      Array.to_list
+        (Matrix.map ~jobs ~n:seeds (fun seed ->
+             conform_cell backend workload seed))
     in
     { backend; workload; skipped = false; runs }
 
@@ -73,9 +84,37 @@ let first_error s =
       | [] -> None)
     s.runs
 
-(* Run every registered backend able to take the workload. *)
-let diff (workload : Workload.t) ~seeds =
-  List.map (fun b -> conform b workload ~seeds) Backend.all
+(* Run every registered backend able to take the workload.  The whole
+   backend x seed matrix is flattened into one cell array so the
+   work-stealing executor balances load across backends of very
+   different costs, then regrouped into per-backend summaries in
+   registration order. *)
+let diff ?(jobs = 1) (workload : Workload.t) ~seeds =
+  let supported =
+    List.map (fun b -> (b, Backend.supports b workload)) Backend.all
+  in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (b, ok) ->
+           if ok then List.init seeds (fun seed -> (b, seed)) else [])
+         supported)
+  in
+  let results =
+    Matrix.map ~jobs ~n:(Array.length cells) (fun i ->
+        let b, seed = cells.(i) in
+        conform_cell b workload seed)
+  in
+  let next = ref 0 in
+  List.map
+    (fun (b, ok) ->
+      if not ok then { backend = b; workload; skipped = true; runs = [] }
+      else begin
+        let runs = Array.to_list (Array.sub results !next seeds) in
+        next := !next + seeds;
+        { backend = b; workload; skipped = false; runs }
+      end)
+    supported
 
 (* ------------------------------------------------------------------ *)
 (* Chaos conformance: backend x workload x fault plan.                 *)
@@ -150,18 +189,23 @@ type chaos_summary = {
   cs_runs : chaos_run list;
 }
 
-let chaos (backend : Backend.t) (workload : Workload.t) ~plans ~seeds =
+(* Plan-major cell numbering: cell [i] is plan [i / seeds], seed
+   [i mod seeds] — the same order the sequential nest produced. *)
+let chaos_cell backend workload ~seeds i =
+  let plan = Plan.generate ~plan_id:(i / seeds) in
+  chaos_one backend workload ~seed:(i mod seeds) plan
+
+let chaos ?(jobs = 1) (backend : Backend.t) (workload : Workload.t) ~plans
+    ~seeds =
   if backend.Backend.chaos = None || not (Backend.supports backend workload)
   then
     { cs_backend = backend; cs_workload = workload; cs_skipped = true;
       cs_runs = [] }
   else
     let runs =
-      List.concat_map
-        (fun plan_id ->
-          let plan = Plan.generate ~plan_id in
-          List.init seeds (fun seed -> chaos_one backend workload ~seed plan))
-        (List.init plans (fun i -> i))
+      Array.to_list
+        (Matrix.map ~jobs ~n:(plans * seeds)
+           (fun i -> chaos_cell backend workload ~seeds i))
     in
     { cs_backend = backend; cs_workload = workload; cs_skipped = false;
       cs_runs = runs }
@@ -238,4 +282,69 @@ let render_chaos ppf s =
          (List.map
             (fun (k, n) -> Printf.sprintf "%d %s" n k)
             (chaos_classes s)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming chaos: million-run matrices at flat memory.               *)
+
+type chaos_totals = {
+  ct_backend : Backend.t;
+  ct_workload : Workload.t;
+  ct_skipped : bool;
+  ct_runs : int;
+  ct_classes : (string * int) list;  (* class name -> count, first-seen *)
+  ct_failures : (int * int * chaos_class) list;
+      (* (plan, seed, class) of every Violation / Unexplained run *)
+}
+
+let chaos_totals_ok t = (not t.ct_skipped) && t.ct_failures = []
+
+(* Same cells, same order and same rendered bytes as [chaos] +
+   [render_chaos], but each run is classified, rendered through [emit]
+   and dropped as soon as its turn comes: the resident set holds only
+   the bounded in-flight window of the executor plus the class counters,
+   independent of the matrix size.  [emit] is called on the calling
+   domain, in deterministic cell order, for any [jobs]. *)
+let chaos_stream ?(jobs = 1) ~emit (backend : Backend.t)
+    (workload : Workload.t) ~plans ~seeds =
+  if backend.Backend.chaos = None || not (Backend.supports backend workload)
+  then begin
+    emit
+      (Format.asprintf "%s x %s: skipped (no chaos driver or feature)@\n"
+         backend.Backend.name workload.Workload.name);
+    { ct_backend = backend; ct_workload = workload; ct_skipped = true;
+      ct_runs = 0; ct_classes = []; ct_failures = [] }
+  end
+  else begin
+    let n = plans * seeds in
+    emit
+      (Format.asprintf "--- chaos: %s x %s (%d runs) ---@\n"
+         backend.Backend.name workload.Workload.name n);
+    let classes = ref [] in
+    let failures = ref [] in
+    let bump key =
+      classes :=
+        (match List.assoc_opt key !classes with
+        | Some c -> (key, c + 1) :: List.remove_assoc key !classes
+        | None -> !classes @ [ (key, 1) ])
+    in
+    Matrix.iter_ordered ~jobs ~n
+      ~f:(fun i -> chaos_cell backend workload ~seeds i)
+      ~consume:(fun i r ->
+        emit (Format.asprintf "%a" (render_run backend.Backend.name) r);
+        bump (class_name r.c_class);
+        match r.c_class with
+        | Violation | Unexplained ->
+          failures := (i / seeds, i mod seeds, r.c_class) :: !failures
+        | Conformant | Diagnosed -> ())
+      ();
+    emit
+      (Format.asprintf "summary: %s@\n"
+         (String.concat ", "
+            (List.map
+               (fun (k, c) -> Printf.sprintf "%d %s" c k)
+               !classes)));
+    { ct_backend = backend; ct_workload = workload; ct_skipped = false;
+      ct_runs = n; ct_classes = !classes;
+      ct_failures = List.rev !failures }
   end

@@ -21,8 +21,13 @@ type summary = {
   runs : run list;
 }
 
-(** [conform b w ~seeds] — run seeds [0..seeds-1] and check each trace. *)
-val conform : Backend.t -> Workload.t -> seeds:int -> summary
+(** [conform ?jobs b w ~seeds] — run seeds [0..seeds-1] and check each
+    trace.  [jobs] > 1 distributes the seed matrix over that many OCaml
+    domains with the work-stealing executor; every cell is an isolated
+    machine with its own per-seed RNG and domain-local probe slot, and
+    results keep index order, so the summary is identical for any
+    [jobs]. *)
+val conform : ?jobs:int -> Backend.t -> Workload.t -> seeds:int -> summary
 
 (** Aggregates over a summary's runs. *)
 
@@ -42,8 +47,9 @@ val ok : summary -> bool
 (** First spec violation, rendered with its seed and trace position. *)
 val first_error : summary -> string option
 
-(** [diff w ~seeds] — [conform] on every registered backend. *)
-val diff : Workload.t -> seeds:int -> summary list
+(** [diff ?jobs w ~seeds] — [conform] on every registered backend; the
+    whole backend x seed matrix is one work-stealing pool. *)
+val diff : ?jobs:int -> Workload.t -> seeds:int -> summary list
 
 (** {1 Chaos conformance}
 
@@ -88,9 +94,11 @@ type chaos_summary = {
 val chaos_one :
   Backend.t -> Workload.t -> seed:int -> Threads_fault.Plan.t -> chaos_run
 
-(** [chaos b w ~plans ~seeds] — plans [0..plans-1] x seeds
-    [0..seeds-1]. *)
-val chaos : Backend.t -> Workload.t -> plans:int -> seeds:int -> chaos_summary
+(** [chaos ?jobs b w ~plans ~seeds] — plans [0..plans-1] x seeds
+    [0..seeds-1], parallelized like {!conform}. *)
+val chaos :
+  ?jobs:int -> Backend.t -> Workload.t -> plans:int -> seeds:int ->
+  chaos_summary
 
 (** Every run classified [Conformant] or [Diagnosed]. *)
 val chaos_ok : chaos_summary -> bool
@@ -101,3 +109,38 @@ val chaos_classes : chaos_summary -> (string * int) list
 (** Deterministic fault report: equal (backend, workload, plan, seed)
     render byte-equal reports. *)
 val render_chaos : Format.formatter -> chaos_summary -> unit
+
+(** {1 Streaming chaos}
+
+    The list-returning {!chaos} retains every run's machine; for
+    million-run matrices use {!chaos_stream}, which renders and drops
+    each run as its turn comes, keeping memory flat (the executor's
+    bounded in-flight window) while emitting exactly the bytes
+    {!render_chaos} would. *)
+
+type chaos_totals = {
+  ct_backend : Backend.t;
+  ct_workload : Workload.t;
+  ct_skipped : bool;
+  ct_runs : int;
+  ct_classes : (string * int) list;
+      (** class name -> count, first-seen order *)
+  ct_failures : (int * int * chaos_class) list;
+      (** (plan, seed, class) of every Violation / Unexplained run *)
+}
+
+(** Every run classified [Conformant] or [Diagnosed]. *)
+val chaos_totals_ok : chaos_totals -> bool
+
+(** [chaos_stream ?jobs ~emit b w ~plans ~seeds] — the streaming
+    equivalent of [render_chaos ppf (chaos b w ~plans ~seeds)]: [emit]
+    receives the report in deterministic chunks (called on the calling
+    domain, in cell order, for any [jobs]). *)
+val chaos_stream :
+  ?jobs:int ->
+  emit:(string -> unit) ->
+  Backend.t ->
+  Workload.t ->
+  plans:int ->
+  seeds:int ->
+  chaos_totals

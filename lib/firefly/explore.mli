@@ -35,6 +35,67 @@ val explore :
   (outcome -> string option) ->
   (string option * stats)
 
+(** [explore_all] is {!explore} without the early stop: it traverses the
+    whole tree and returns the sorted set of distinct violation strings,
+    plus [false] iff the [max_runs] budget was exhausted first.  This is
+    the reference answer DPOR is compared against. *)
+val explore_all :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  build:(Machine.t -> unit) ->
+  (outcome -> string option) ->
+  string list * stats * bool
+
+(** Statistics of a {!explore_dpor} search. *)
+type dpor_stats = {
+  executions : int;  (** maximal (terminal or truncated) replays run *)
+  sleep_blocked : int;  (** branches pruned by sleep sets *)
+  dpor_truncated : int;  (** executions cut off by the depth bound *)
+  dpor_steps : int;  (** instructions executed across all replays *)
+  complete : bool;  (** false iff the [max_runs] budget was exhausted *)
+}
+
+val dpor_stats_zero : dpor_stats
+val dpor_stats_add : dpor_stats -> dpor_stats -> dpor_stats
+
+(** [explore_dpor ?max_depth ?max_runs ?prefix ~build check] — dynamic
+    partial-order reduction (Flanagan & Godefroid) with sleep sets.
+    Dependence between steps is computed from the machine's recorded
+    footprints ({!Machine.set_footprints}), which cover memory words,
+    scheduling causality and [Probe.touch]-declared package state, so
+    pruned interleavings are genuinely equivalent to explored ones.
+
+    Unlike {!explore} the search runs to completion and returns the
+    {e set} of distinct violation strings produced by [check] (sorted,
+    deduplicated) — identical however the space is traversed or split.
+    [check] should therefore return a canonical description free of
+    schedule-dependent detail.  [prefix] freezes the first steps of every
+    execution (used by {!explore_dpor_parallel}); backtrack points inside
+    the frozen region are discarded. *)
+val explore_dpor :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?prefix:Threads_util.Tid.t list ->
+  build:(Machine.t -> unit) ->
+  (outcome -> string option) ->
+  string list * dpor_stats
+
+(** [explore_dpor_parallel ?split_branches ?jobs ...] splits the schedule
+    tree exhaustively at the first [split_branches] branch points (default
+    2) and runs an independent {!explore_dpor} under each frozen prefix,
+    distributed over [jobs] domains by the work-stealing run-matrix
+    executor.  The split happens regardless of [jobs], so the returned
+    violation set and statistics are byte-identical for any worker count.
+    Each per-prefix search gets its own [max_runs] budget. *)
+val explore_dpor_parallel :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?split_branches:int ->
+  ?jobs:int ->
+  build:(Machine.t -> unit) ->
+  (outcome -> string option) ->
+  string list * dpor_stats
+
 (** [explore_bounded ?max_preemptions ...] — delay-bounded systematic
     search in the style of CHESS (Musuvathi & Qadeer): the baseline
     scheduler is non-preemptive (a thread runs until it blocks), switching

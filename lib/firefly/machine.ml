@@ -217,15 +217,52 @@ type t = {
   mutable chaos_active : bool;
   mutable faults : fault list;  (* newest first; [faults] reverses *)
   mutable fault_count : int;
+  mutable neg_ids : int;
+      (* per-machine negative trace-id allocator (Hoare condition ids):
+         machine-local so runs on parallel domains stay byte-identical *)
+  mutable track_footprint : bool;
+  mutable footprint : (int * bool) list;
+      (* (addr, is_write) pairs touched by the step in progress; newest
+         first.  Pseudo-addresses encode scheduler state (see [fp_sched]);
+         the DPOR explorer reads this as its dependence relation. *)
 }
 
 (* The machine whose thread is currently inside [step], with that thread's
    id.  Lets package code (and thunks running inside [mem_emit]) record
    observations as plain function calls — no effect performed, no
    scheduling point added, no cycle charged — which is what keeps an
-   instrumented run cycle-identical to an uninstrumented one.  The
-   simulator is single-threaded OCaml, so one ambient slot suffices. *)
-let current : (t * Tid.t) option ref = ref None
+   instrumented run cycle-identical to an uninstrumented one.  Each
+   simulated machine is stepped by exactly one domain at a time, but the
+   run-matrix executor steps many machines on parallel domains, so the
+   ambient slot is domain-local state rather than a process global. *)
+let current_key : (t * Tid.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get current_key
+let set_current v = Domain.DLS.set current_key v
+
+(* ---- step footprints (DPOR dependence stream) ----
+
+   Pseudo-addresses for scheduler interactions, kept far below zero so
+   they can never collide with real memory addresses (>= 0) or with the
+   small negative trace ids in [neg_ids].  [fp_sched t] stands for the
+   scheduler state of thread [t]: every step reads its own, and waking,
+   spawning, finishing or joining a thread writes the target's — which is
+   exactly the commutation structure the explorer needs (a wake does not
+   commute with any step of the woken thread). *)
+
+let fp_sched tid = -0x4000_0000 - tid
+let fp_rng = -0x3000_0000
+let fp_alloc = -0x3000_0001
+let fp_spawn = -0x3000_0002
+
+(* Host-state package objects (cooperative queues, monitor holders) get
+   their own range so a [Probe.touch id] can never alias a machine word
+   with the same integer id. *)
+let fp_obj id = -0x2000_0000 - id
+
+let fp m addr ~w =
+  if m.track_footprint then m.footprint <- (addr, w) :: m.footprint
 
 let dummy_thread =
   {
@@ -275,6 +312,9 @@ let create ?(seed = 0) ?(cost = Cost.default) () =
     chaos_active = false;
     faults = [];
     fault_count = 0;
+    neg_ids = 0;
+    track_footprint = false;
+    footprint = [];
   }
 
 let thread m tid =
@@ -396,7 +436,7 @@ let prof_take_block_reason m tid =
   | None -> (On_unknown, None)
 
 let prof_waker m =
-  match !current with
+  match current () with
   | Some (m', w) when m' == m -> Some w
   | _ -> None
 
@@ -412,6 +452,7 @@ let record_fault m desc =
 
 let wake m tid =
   let t = thread m tid in
+  fp m (fp_sched tid) ~w:true;
   if Hashtbl.mem m.killed tid then
     record_fault m
       (Printf.sprintf "wakeup of crash-stopped t%d discarded" tid)
@@ -446,6 +487,7 @@ let wake m tid =
 let finish m t st =
   t.status <- st;
   t.paused <- Gone;
+  fp m (fp_sched t.tid) ~w:true;
   prof_push m t.tid ~t:m.total_cycles Pr_finish;
   (* Record the join edge at the moment it takes effect: each joiner's
      subsequent execution happens after everything [t] did. *)
@@ -503,12 +545,14 @@ let execute_effect (type a) m t (eff : a Effect.t)
   match eff with
   | E_read a ->
     let v = m.mem.(a) in
+    fp m a ~w:false;
     record m t.tid a A_load;
     let cost = charge ~instr:true c.read in
     resume m t k v;
     cost
   | E_write (a, v) ->
     m.mem.(a) <- v;
+    fp m a ~w:true;
     record m t.tid a A_store;
     let cost = charge ~instr:true c.write in
     resume m t k ();
@@ -516,12 +560,14 @@ let execute_effect (type a) m t (eff : a Effect.t)
   | E_tas a ->
     let old = m.mem.(a) in
     m.mem.(a) <- 1;
+    fp m a ~w:true;
     record m t.tid a (A_tas (old = 0));
     let cost = charge ~instr:true c.tas in
     resume m t k (old <> 0);
     cost
   | E_clear a ->
     m.mem.(a) <- 0;
+    fp m a ~w:true;
     record m t.tid a A_clear;
     let cost = charge ~instr:true c.write in
     resume m t k ();
@@ -529,12 +575,14 @@ let execute_effect (type a) m t (eff : a Effect.t)
   | E_faa (a, n) ->
     let old = m.mem.(a) in
     m.mem.(a) <- old + n;
+    fp m a ~w:true;
     record m t.tid a A_faa;
     let cost = charge ~instr:true c.faa in
     resume m t k old;
     cost
   | E_alloc n ->
     let base = alloc m n in
+    fp m fp_alloc ~w:true;
     resume m t k base;
     0
   | E_self ->
@@ -542,12 +590,15 @@ let execute_effect (type a) m t (eff : a Effect.t)
     0
   | E_spawn (f, prio) ->
     let tid = add_thread m ?priority:prio f in
+    fp m fp_spawn ~w:true;
+    fp m (fp_sched tid) ~w:true;
     record m t.tid (-1) (A_spawn tid);
     prof_push m t.tid ~t:m.total_cycles (Pr_spawn tid);
     resume m t k tid;
     0
   | E_join target ->
     let tgt = thread m target in
+    fp m (fp_sched target) ~w:false;
     (match tgt.status with
     | Finished | Failed _ ->
       record m t.tid (-1) (A_join target);
@@ -571,6 +622,8 @@ let execute_effect (type a) m t (eff : a Effect.t)
       t.paused <- Resume_unit k;
       0)
   | E_deschedule_and_clear a ->
+    fp m a ~w:true;
+    fp m (fp_sched t.tid) ~w:true;
     let release_held () =
       if List.mem a t.held then begin
         t.held <- remove_first a t.held;
@@ -643,6 +696,7 @@ let execute_effect (type a) m t (eff : a Effect.t)
     0
   | E_rand n ->
     let v = Threads_util.Rng.int m.rng n in
+    fp m fp_rng ~w:true;
     resume m t k v;
     0
   | E_set_priority p ->
@@ -657,20 +711,24 @@ let execute_effect (type a) m t (eff : a Effect.t)
       match op with
       | M_none -> (0, charge ~instr:true c.write)
       | M_read a ->
+        fp m a ~w:false;
         record m t.tid a A_load;
         (m.mem.(a), charge ~instr:true c.read)
       | M_tas a ->
         let old = m.mem.(a) in
         m.mem.(a) <- 1;
+        fp m a ~w:true;
         record m t.tid a (A_tas (old = 0));
         (old, charge ~instr:true c.tas)
       | M_clear a ->
         m.mem.(a) <- 0;
+        fp m a ~w:true;
         record m t.tid a A_clear;
         (0, charge ~instr:true c.write)
       | M_faa (a, n) ->
         let old = m.mem.(a) in
         m.mem.(a) <- old + n;
+        fp m a ~w:true;
         record m t.tid a A_faa;
         (old, charge ~instr:true c.faa)
     in
@@ -688,10 +746,11 @@ let step m tid =
   let t = thread m tid in
   if t.status <> Runnable then
     failwith (Printf.sprintf "Machine.step: t%d is not runnable" tid);
-  let saved = !current in
-  current := Some (m, tid);
+  let saved = current () in
+  set_current (Some (m, tid));
+  if m.track_footprint then m.footprint <- [ (fp_sched tid, false) ];
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> set_current saved)
     (fun () ->
       let t0 = m.total_cycles in
       let cost =
@@ -748,6 +807,24 @@ let set_recording m b = m.recording <- b
 let recording m = m.recording
 let accesses m = List.rev m.accs
 let access_count m = m.acc_count
+
+(* ---- step-footprint accessors (DPOR dependence) ---- *)
+
+let set_footprints m b =
+  m.track_footprint <- b;
+  if not b then m.footprint <- []
+
+let footprints m = m.track_footprint
+let last_footprint m = m.footprint
+
+(* Two footprints conflict iff they share an address and at least one
+   side writes it — the machine-level dependence relation the explorer's
+   sleep sets are keyed on. *)
+let footprints_conflict f1 f2 =
+  List.exists
+    (fun (a1, w1) ->
+      List.exists (fun (a2, w2) -> a1 = a2 && (w1 || w2)) f2)
+    f1
 
 (* ---- profiling-stream accessors ---- *)
 
@@ -878,50 +955,76 @@ let registered_words m =
    package stays loadable from code not running under a machine. *)
 module Probe = struct
   let now () =
-    match !current with Some (m, _) -> m.total_cycles | None -> 0
+    match current () with Some (m, _) -> m.total_cycles | None -> 0
 
   (* Append a trace event at the current instant without an effect.  Meant
      for [mem_emit] thunks that linearize more than one visible action in a
      single instruction (e.g. Hoare's monitor handoff: Release + Acquire). *)
   let emit ev =
-    match !current with
+    match current () with
     | Some (m, _) -> Trace.Sink.emit m.sink ev
     | None -> ()
 
   (* The stepping thread's id, without the E_self effect (and so without a
      scheduling point): lets a [mem_emit] thunk name itself in an event. *)
-  let self () = match !current with Some (_, tid) -> Some tid | None -> None
+  let self () = match current () with Some (_, tid) -> Some tid | None -> None
+
+  (* Machine-local negative id allocator for traced objects that are not
+     backed by a memory word (Hoare conditions).  Machine-local rather
+     than a process global so the ids — which appear in trace events and
+     conformance reports — depend only on the run, not on process history
+     or on which domain executed it. *)
+  let global_neg_ids = Atomic.make 0
+
+  let fresh_trace_id () =
+    match current () with
+    | Some (m, _) ->
+      m.neg_ids <- m.neg_ids - 1;
+      m.neg_ids
+    | None -> Atomic.fetch_and_add global_neg_ids (-1) - 1
+
+  (* Declare a host-level access to shared package state for the DPOR
+     dependence stream.  Package operations whose effect lives in OCaml
+     data structures (cooperative ready queues, monitor holder fields)
+     rather than machine words call this inside their atomic thunks so
+     the explorer sees the conflict; object ids are mapped into their own
+     pseudo-address range and can never alias a machine word.  No-op
+     unless footprint tracking is on. *)
+  let touch ?(write = true) id =
+    match current () with
+    | Some (m, _) -> fp m (fp_obj id) ~w:write
+    | None -> ()
 
   let counter name n =
-    match !current with
+    match current () with
     | Some (m, _) -> Obs.Instrument.incr m.obs name n
     | None -> ()
 
   let sample name v =
-    match !current with
+    match current () with
     | Some (m, _) -> Obs.Instrument.sample m.obs name v
     | None -> ()
 
   let gauge_max name v =
-    match !current with
+    match current () with
     | Some (m, _) -> Obs.Instrument.gauge_max m.obs name v
     | None -> ()
 
   let span_begin ?cat name =
-    match !current with
+    match current () with
     | Some (m, tid) ->
       Obs.Instrument.span_begin m.obs ~track:tid ?cat name
         ~now:m.total_cycles
     | None -> ()
 
   let span_end name =
-    match !current with
+    match current () with
     | Some (m, tid) ->
       Obs.Instrument.span_end m.obs ~track:tid name ~now:m.total_cycles
     | None -> None
 
   let span_add ?cat name ~t0 ~t1 =
-    match !current with
+    match current () with
     | Some (m, tid) ->
       Obs.Instrument.span_add m.obs ~track:tid ?cat name ~t0 ~t1
     | None -> ()
@@ -937,7 +1040,7 @@ module Probe = struct
   (* Classify a memory word so the analyzers know its protocol role.
      Unregistered words are treated as ordinary data. *)
   let register_word addr kind name =
-    match !current with
+    match current () with
     | Some (m, _) ->
       Hashtbl.replace m.words addr (kind, name);
       if kind = W_lock then Hashtbl.replace m.lock_names addr name
@@ -946,7 +1049,7 @@ module Probe = struct
   (* Name a package-level lock that is not backed by a TAS word (e.g. the
      cooperative backend's mutexes, Hoare monitors). *)
   let register_lock id name =
-    match !current with
+    match current () with
     | Some (m, _) -> Hashtbl.replace m.lock_names id name
     | None -> ()
 
@@ -954,7 +1057,7 @@ module Probe = struct
      hands the monitor to the resumed waiter inside the signaller's
      instruction). *)
   let lock_acquired ?tid id =
-    match !current with
+    match current () with
     | Some (m, cur) ->
       let tid = Option.value tid ~default:cur in
       let t = thread m tid in
@@ -965,7 +1068,7 @@ module Probe = struct
     | None -> ()
 
   let lock_released ?tid id =
-    match !current with
+    match current () with
     | Some (m, cur) ->
       let tid = Option.value tid ~default:cur in
       let t = thread m tid in
@@ -980,7 +1083,7 @@ module Probe = struct
      the attempted edge even if the acquisition never succeeds (the
      classic deadlock leaves both attempts pending forever). *)
   let lock_attempted id =
-    match !current with
+    match current () with
     | Some (m, cur) -> record m cur id A_lock_att
     | None -> ()
 
@@ -1003,19 +1106,19 @@ module Probe = struct
      the timed-out thread can tell expiry from a Signal/V wake. *)
 
   let set_timeout ~cycles =
-    match !current with
+    match current () with
     | Some (m, tid) -> Hashtbl.replace m.timers tid (m.total_cycles + cycles)
     | None -> ()
 
   let cancel_timeout () =
-    match !current with
+    match current () with
     | Some (m, tid) ->
       Hashtbl.remove m.timers tid;
       Hashtbl.remove m.timer_fired tid
     | None -> ()
 
   let take_timeout_fired () =
-    match !current with
+    match current () with
     | Some (m, tid) ->
       if Hashtbl.mem m.timer_fired tid then begin
         Hashtbl.remove m.timer_fired tid;
@@ -1030,29 +1133,29 @@ module Probe = struct
      gates degradation heuristics (spin-lock backoff) so uninjected runs
      stay schedule-identical. *)
   let chaos_active () =
-    match !current with Some (m, _) -> m.chaos_active | None -> false
+    match current () with Some (m, _) -> m.chaos_active | None -> false
 
   (* Package code registers named injection entry points at object
      creation (a condition's spurious wakeup, a spin-lock's contention
      burst, the package's alert).  The chaos engine runs them from
      injector threads it spawns mid-run. *)
   let register_chaos name f =
-    match !current with
+    match current () with
     | Some (m, _) -> m.chaos_hooks <- (name, f) :: m.chaos_hooks
     | None -> ()
 
   (* Record a package-level injected fault in the machine's fault log. *)
   let inject_fault desc =
-    match !current with Some (m, _) -> record_fault m desc | None -> ()
+    match current () with Some (m, _) -> record_fault m desc | None -> ()
 
   let will_block obj =
-    match !current with
+    match current () with
     | Some (m, tid) ->
       if m.profiling then Hashtbl.replace m.pending_block tid (On_obj obj)
     | None -> ()
 
   let handoff ~obj target =
-    match !current with
+    match current () with
     | Some (m, _) ->
       if m.profiling then Hashtbl.replace m.pending_wake target obj
     | None -> ()

@@ -232,6 +232,19 @@ module Probe : sig
       scheduling point. *)
   val self : unit -> Threads_util.Tid.t option
 
+  (** Fresh negative trace id for an object not backed by a memory word
+      (Hoare conditions).  Allocated from the stepping machine, so the ids
+      appearing in traces and reports depend only on the run — not on
+      process history or the executing domain. *)
+  val fresh_trace_id : unit -> int
+
+  (** [touch ?write id] declares a host-level access to shared package
+      state (cooperative queues, monitor holder fields) for the DPOR
+      dependence stream.  Object ids live in their own pseudo-address
+      range and never alias machine words.  No-op unless footprint
+      tracking is on ({!set_footprints}). *)
+  val touch : ?write:bool -> int -> unit
+
   (** [counter name n] adds [n]; [counter name 0] materializes the counter
       at 0 so it shows in reports. *)
   val counter : string -> int -> unit
@@ -401,6 +414,28 @@ val recording : t -> bool
 val accesses : t -> access list
 
 val access_count : t -> int
+
+(** {1 Step footprints (DPOR dependence, driver side)}
+
+    With {!set_footprints} on, each {!step} records the set of
+    [(address, is_write)] pairs it touched: real memory addresses for
+    loads/stores/interlocked operations, pseudo-addresses for scheduler
+    interactions (every step reads its own scheduler slot; waking,
+    spawning, finishing or joining a thread writes the target's slot),
+    and {!Probe.touch} declarations for host-level package state.  Two
+    steps commute whenever their footprints do not conflict — the
+    dependence relation {!Explore.explore_dpor} keys its sleep sets on.
+    Off by default and charge-free when off. *)
+
+val set_footprints : t -> bool -> unit
+val footprints : t -> bool
+
+(** Footprint of the most recently executed step (newest access first). *)
+val last_footprint : t -> (int * bool) list
+
+(** [footprints_conflict f1 f2] — do the footprints share an address with
+    at least one write? *)
+val footprints_conflict : (int * bool) list -> (int * bool) list -> bool
 
 (** {1 Profiling stream (driver side)} *)
 

@@ -1,0 +1,26 @@
+(** Systematic-exploration scenarios for [repro explore].
+
+    Small closed programs (2–4 threads) on the bounded backends — the
+    cooperative uniprocessor package and the Hoare monitor package —
+    paired with canonical checkers, so DFS and DPOR traversals (and
+    parallel workers) can be compared on the {e set} of violations they
+    find.  See the implementation for the catalogue: the wakeup-waiting
+    window, Alert racing Signal, E5's semaphore-encoded broadcast, E8's
+    Hoare hand-off non-conformance, and a disjoint-lock reduction
+    benchmark. *)
+
+type t = {
+  name : string;
+  description : string;
+  build : Firefly.Machine.t -> unit;
+  check : Firefly.Explore.outcome -> string option;
+      (** canonical: schedule-independent strings, so violation sets are
+          comparable across traversal orders *)
+  expect : string list;
+      (** the exact sorted violation set exploration must produce;
+          [[]] means the scenario must verify clean *)
+  max_depth : int;  (** per-execution step bound *)
+}
+
+val all : t list
+val find : string -> t option

@@ -63,8 +63,10 @@ let node_key node =
 
 let run ?(max_states = 2_000_000) iface (scenario : Program.t) =
   let objects =
-    List.map
-      (fun (name, sort) -> (name, Spec_obj.create name sort))
+    (* Positional ids: node keys and any printed state depend only on the
+       scenario, not on process history or the executing domain. *)
+    List.mapi
+      (fun i (name, sort) -> (name, Spec_obj.make ~oid:(i + 1) name sort))
       scenario.objects
   in
   let init_state =

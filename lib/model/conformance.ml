@@ -41,7 +41,12 @@ let obj_for ctx ~sort ~impl_id =
            Sort.pp o.Spec_obj.sort Sort.pp sort);
     o
   | None ->
-    let o = Spec_obj.create (Printf.sprintf "o%d" impl_id) sort in
+    (* Deterministic identity derived from the impl id (a machine-local
+       address or negative trace id), so error messages that print the
+       object are byte-identical whichever domain ran the check.  Impl
+       ids are unique per machine; [+1] keeps 0 free for [alerts]. *)
+    let oid = if impl_id >= 0 then impl_id + 1 else impl_id in
+    let o = Spec_obj.make ~oid (Printf.sprintf "o%d" impl_id) sort in
     Hashtbl.replace ctx.objs impl_id o;
     ctx.state <- State.add o (Value.initial sort) ctx.state;
     o

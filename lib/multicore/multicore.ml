@@ -488,20 +488,33 @@ module Sync = struct
   let yield () = Domain.cpu_relax ()
 end
 
-let run body = body ()
+(* The package is one-per-process (global nub, alert tables, trace
+   sink), so two runs cannot overlap: a concurrent [reset] would wipe
+   the other run's pending alerts mid-wait.  Serializing here makes the
+   entry points safe to call from parallel matrix cells — the run
+   inside occupies every core anyway, so nothing is lost. *)
+let package_mu = Stdlib.Mutex.create ()
+
+let exclusive body =
+  Stdlib.Mutex.lock package_mu;
+  Fun.protect ~finally:(fun () -> Stdlib.Mutex.unlock package_mu) body
+
+let run body = exclusive body
 
 let traced_run body =
-  let s = Spec_trace.Sink.create () in
-  reset ();
-  set_trace_sink (Some s);
-  Fun.protect ~finally:(fun () -> set_trace_sink None) (fun () ->
-      let result = body () in
-      (result, Spec_trace.Sink.events s))
+  exclusive (fun () ->
+      let s = Spec_trace.Sink.create () in
+      reset ();
+      set_trace_sink (Some s);
+      Fun.protect ~finally:(fun () -> set_trace_sink None) (fun () ->
+          let result = body () in
+          (result, Spec_trace.Sink.events s)))
 
 let analyzed_run body =
-  let cell = ref [] in
-  reset ();
-  Atomic.set lock_log (Some cell);
-  Fun.protect ~finally:(fun () -> Atomic.set lock_log None) (fun () ->
-      let result = body () in
-      (result, List.rev !cell))
+  exclusive (fun () ->
+      let cell = ref [] in
+      reset ();
+      Atomic.set lock_log (Some cell);
+      Fun.protect ~finally:(fun () -> Atomic.set lock_log None) (fun () ->
+          let result = body () in
+          (result, List.rev !cell)))

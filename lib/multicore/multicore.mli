@@ -32,14 +32,20 @@ exception Alerted
     Threads package being one per address space. *)
 module Sync : Taos_threads.Sync_intf.SYNC with type thread = thread
 
+(** The package state (nub lock, alert tables, trace sink) is global,
+    so [run]/[traced_run]/[analyzed_run] serialize on a package mutex:
+    overlapping calls from different domains — e.g. parallel run-matrix
+    cells — queue up rather than corrupt each other (a concurrent reset
+    would wipe another run's pending alerts mid-wait).  The body inside
+    occupies every core anyway, so serializing costs no parallelism. *)
+
 (** [run body] — run [body] on the main thread with the package
     initialized; joins nothing implicitly. *)
 val run : (unit -> 'a) -> 'a
 
 (** [traced_run body] — clear residual alert state, install a fresh sink,
     run [body], uninstall the sink (even on exception) and return the
-    result with the linearized event trace.  The sink is package-global:
-    do not run two traced bodies concurrently. *)
+    result with the linearized event trace. *)
 val traced_run : (unit -> 'a) -> 'a * Spec_trace.event list
 
 (** Install or remove the trace sink by hand ({!traced_run} is the usual
@@ -54,9 +60,7 @@ type lock_event = { le_tid : int; le_lock : int; le_acquire : bool }
 
 (** [analyzed_run body] — clear residual alert state, capture every mutex
     acquisition/release during [body], and return the result with the
-    events (each thread's events in its program order).  Like the trace
-    sink, the log is package-global: do not run two analyzed bodies
-    concurrently. *)
+    events (each thread's events in its program order). *)
 val analyzed_run : (unit -> 'a) -> 'a * lock_event list
 
 (** Clear leftover pending alerts and cancellations from a previous run

@@ -1,0 +1,53 @@
+(** Domain-parallel run-matrix executor.
+
+    The verification pipeline is matrices of deterministic, independent
+    runs: conformance sweeps (backend × workload × seed), chaos sweeps
+    (plan × seed), analysis passes, DPOR frontier prefixes.  This module
+    fans a matrix out over OCaml 5 domains with contiguous-block work
+    stealing and returns results keyed by cell index, so every report is
+    byte-identical whatever the worker count.
+
+    Isolation contract: the cell function must confine mutable state to
+    the cell (fresh machine, fresh {!Threads_util.Rng.cell} instance) —
+    everything [lib/firefly] and the backends allocate per run already
+    qualifies.  Probe state is domain-local in the machine, so cells on
+    different domains cannot observe each other. *)
+
+(** The runtime's suggestion for [jobs] on this host
+    ([Domain.recommended_domain_count]). *)
+val recommended_jobs : unit -> int
+
+(** [resolve_jobs j] maps the CLI convention to a worker count:
+    [j <= 0] means "auto" ({!recommended_jobs}), otherwise [j]. *)
+val resolve_jobs : int -> int
+
+module Matrix : sig
+  (** [map ~jobs ~n f] computes [|f 0; ...; f (n-1)|].
+
+      [jobs = 1] (the default) runs on the calling domain with no domain
+      spawned — bit-for-bit the sequential semantics.  [jobs > 1] spawns
+      that many worker domains; each starts with a contiguous block of
+      indices and steals half of a victim's remaining block when its own
+      runs dry.  Results land in the slot of their index, so the output
+      array is independent of scheduling.
+
+      If any cell raises, the exception of the lowest-indexed failing
+      cell is re-raised on the caller (after all workers stop), keeping
+      failure reports deterministic too. *)
+  val map : ?jobs:int -> n:int -> (int -> 'a) -> 'a array
+
+  (** [iter_ordered ~jobs ~n ~f ~consume ()] computes [f i] for every
+      cell and calls [consume i (f i)] for [i = 0, 1, ..., n-1] {e in
+      index order, on the calling domain}.
+
+      Unlike {!map} it never materializes the whole result array: with
+      [jobs = 1] each result is consumed as soon as it is produced; with
+      [jobs > 1] workers throttle against the consumer so at most a
+      bounded window of results is in flight.  This is the streaming
+      primitive for million-run chaos matrices — render each run to its
+      classification line eagerly, consume it into the report, and let
+      the machine behind it be collected. *)
+  val iter_ordered :
+    ?jobs:int -> n:int -> f:(int -> 'a) -> consume:(int -> 'a -> unit) ->
+    unit -> unit
+end

@@ -14,8 +14,11 @@ type cond = { mon : monitor; hq : Tqueue.t; cid : int }
 
 (* Condition trace ids are negative so they can never collide with the
    memory addresses that identify monitors (and any other traced object)
-   without spending a machine effect on allocation. *)
-let cond_ids = ref 0
+   without spending a machine effect on allocation.  They come from the
+   machine ([Probe.fresh_trace_id]) rather than a process-global counter,
+   so the ids appearing in traces — and in conformance reports — depend
+   only on the run, not on how many runs this process (or a sibling
+   domain) executed before it. *)
 
 let atomically f = ignore (Ops.mem_emit M.M_none (fun _ -> f (); None))
 
@@ -40,8 +43,7 @@ let monitor () =
   }
 
 let condition mon =
-  decr cond_ids;
-  let cid = !cond_ids in
+  let cid = M.Probe.fresh_trace_id () in
   M.Probe.register_lock cid (Printf.sprintf "hcond#%d" (-cid));
   { mon; hq = Tqueue.create (); cid }
 
@@ -51,6 +53,7 @@ let enter mon =
   let self = Ops.self () in
   let got = ref false in
   atomically (fun () ->
+      M.Probe.touch mon.scratch;
       match mon.holder with
       | None ->
         mon.holder <- Some self;
@@ -89,6 +92,7 @@ let pass_on mon =
 let exit mon =
   let next = ref None in
   atomically (fun () ->
+      M.Probe.touch mon.scratch;
       (match M.Probe.self () with
       | Some self -> emit (Events.release ~self ~m:mon.scratch)
       | None -> ());
@@ -108,6 +112,8 @@ let wait c =
   let self = Ops.self () in
   let next = ref None in
   atomically (fun () ->
+      M.Probe.touch c.mon.scratch;
+      M.Probe.touch c.cid;
       Tqueue.push c.hq self;
       emit (Events.enqueue ~proc:"Wait" ~self ~m:c.mon.scratch ~c:c.cid);
       M.Probe.lock_released c.mon.scratch;
@@ -130,6 +136,8 @@ let do_signal c =
   let self = Ops.self () in
   let woke = ref None in
   atomically (fun () ->
+      M.Probe.touch c.mon.scratch;
+      M.Probe.touch c.cid;
       match Tqueue.pop c.hq with
       | Some w ->
         (* Hand over the monitor and step aside onto the urgent queue. *)

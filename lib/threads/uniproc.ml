@@ -29,6 +29,15 @@ let fresh_id st =
 (* Commit an atomic action: run [f] and emit its event in one instruction. *)
 let atomically f = ignore (Ops.mem_emit M.M_none (fun _ -> f ()))
 
+(* DPOR dependence declarations: this package's shared state lives in
+   host data structures (holder fields, Tqueues, the alert tables), not
+   machine words, so each atomic action declares the objects it touches
+   ({!M.Probe.touch} — charge-free, no-op unless the explorer enabled
+   footprints).  Object ids come from [fresh_id] (1, 2, ...); id 0 is
+   reserved for the package-wide alert state. *)
+let touch = M.Probe.touch
+let touch_alerts () = M.Probe.touch 0
+
 let block st = Ops.deschedule_and_clear st.scratch
 
 let take_woken st self =
@@ -42,6 +51,7 @@ let rec lock_loop st m ~event =
   let self = Ops.self () in
   let got = ref false in
   atomically (fun () ->
+      touch m.mid;
       match m.holder with
       | None ->
         m.holder <- Some self;
@@ -60,6 +70,7 @@ let rec lock_loop st m ~event =
 
 let unlock _st m ~event =
   atomically (fun () ->
+      touch m.mid;
       m.holder <- None;
       M.Probe.lock_released m.mid;
       event ());
@@ -77,6 +88,9 @@ let wait_generic st c m ~proc ~alertable =
      wait with an alert already pending joins c only abstractly (the
      departing set) and skips the sleep — AlertResume will raise. *)
   atomically (fun () ->
+      touch m.mid;
+      touch c.cid;
+      if alertable then touch_alerts ();
       (if alertable && Tid.Set.mem self st.pending then begin
          alerted_now := true;
          Hashtbl.replace c.departing self ()
@@ -85,6 +99,7 @@ let wait_generic st c m ~proc ~alertable =
          Tqueue.push c.cq self;
          if alertable then
            Hashtbl.replace st.cancels self (fun () ->
+               touch c.cid;
                ignore (Tqueue.remove c.cq self);
                Hashtbl.replace c.departing self ();
                M.Probe.handoff ~obj:c.cid self;
@@ -102,6 +117,7 @@ let wait_generic st c m ~proc ~alertable =
     M.Probe.will_block c.cid;
     block st
   end;
+  if alertable then touch_alerts ();
   let raise_it =
     alertable
     && (!alerted_now || take_woken st self || Tid.Set.mem self st.pending)
@@ -125,6 +141,8 @@ let wait_generic st c m ~proc ~alertable =
 let timed_wait_impl st c m ~timeout =
   let self = Ops.self () in
   atomically (fun () ->
+      touch m.mid;
+      touch c.cid;
       Tqueue.push c.cq self;
       m.holder <- None;
       M.Probe.lock_released m.mid;
@@ -139,6 +157,7 @@ let timed_wait_impl st c m ~timeout =
   block st;
   let timed_out = ref false in
   lock_loop st m ~event:(fun () ->
+      touch c.cid;
       if M.Probe.take_timeout_fired () && Tqueue.remove c.cq self then
         timed_out := true;
       M.Probe.cancel_timeout ();
@@ -155,6 +174,7 @@ let timed_p_impl st s ~timeout =
   let rec loop () =
     let outcome = ref `Blocked in
     atomically (fun () ->
+        touch s.sid;
         if s.avail then begin
           s.avail <- false;
           outcome := `Got;
@@ -184,6 +204,8 @@ let timed_p_impl st s ~timeout =
 let wake_cond st c ~take_all ~self =
   let to_ready = ref [] in
   atomically (fun () ->
+      touch c.cid;
+      touch_alerts ();
       let from_q =
         if take_all then Tqueue.pop_all c.cq
         else match Tqueue.pop c.cq with Some t -> [ t ] | None -> []
@@ -207,6 +229,8 @@ let rec p_loop st s ~alertable ~event =
   let self = Ops.self () in
   let outcome = ref `Blocked in
   atomically (fun () ->
+      touch s.sid;
+      if alertable then touch_alerts ();
       if s.avail then begin
         s.avail <- false;
         outcome := `Got;
@@ -220,6 +244,7 @@ let rec p_loop st s ~alertable ~event =
         Tqueue.push s.sq self;
         if alertable then
           Hashtbl.replace st.cancels self (fun () ->
+              touch s.sid;
               ignore (Tqueue.remove s.sq self);
               M.Probe.handoff ~obj:s.sid self;
               Ops.ready self);
@@ -231,6 +256,7 @@ let rec p_loop st s ~alertable ~event =
   | `Blocked ->
     M.Probe.will_block s.sid;
     block st;
+    if alertable then touch_alerts ();
     Hashtbl.remove st.cancels self;
     if alertable && take_woken st self then `Alerted
     else p_loop st s ~alertable ~event
@@ -308,6 +334,7 @@ let make () : sync =
     let v s =
       let self = Ops.self () in
       atomically (fun () ->
+          touch s.sid;
           s.avail <- true;
           Some (Events.v ~self ~s:s.sid));
       match Tqueue.pop s.sq with
@@ -319,6 +346,7 @@ let make () : sync =
     let alert target =
       let self = Ops.self () in
       atomically (fun () ->
+          touch_alerts ();
           st.pending <- Tid.Set.add target st.pending;
           Some (Events.alert ~self ~target));
       match Hashtbl.find_opt st.cancels target with
@@ -335,6 +363,7 @@ let make () : sync =
       let self = Ops.self () in
       let was = ref false in
       atomically (fun () ->
+          touch_alerts ();
           was := Tid.Set.mem self st.pending;
           st.pending <- Tid.Set.remove self st.pending;
           Some (Events.test_alert ~self ~result:!was));
@@ -351,6 +380,7 @@ let make () : sync =
       | `Acquired -> ()
       | `Alerted ->
         atomically (fun () ->
+            touch_alerts ();
             st.pending <- Tid.Set.remove self st.pending;
             Some (Events.alert_p ~self ~s:s.sid ~alerted:true));
         raise Sync_intf.Alerted

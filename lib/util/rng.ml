@@ -54,3 +54,17 @@ let shuffle t arr =
   done
 
 let split t = { state = mix (next64 t) }
+
+(* Matrix cells must not share a generator (domain-safety) nor overlap
+   streams (statistical independence): hash (base, index) through the
+   output mixer so adjacent cells land in unrelated regions of the
+   splitmix sequence, instead of seeding with [base + index] directly —
+   raw consecutive seeds produce correlated first draws. *)
+let cell ~base ~index =
+  assert (index >= 0);
+  {
+    state =
+      mix
+        (Int64.add (Int64.of_int base)
+           (Int64.mul (Int64.of_int (index + 1)) golden_gamma));
+  }

@@ -42,4 +42,5 @@ let () =
       Test_fault.suite;
       Test_analysis.suite;
       Test_profile.suite;
+      Test_runner.suite;
     ]

@@ -1,0 +1,340 @@
+(* Scale-out verification: the work-stealing run-matrix executor, the
+   domain-parallel crosscheck matrices, and DPOR schedule exploration.
+
+   The load-bearing properties:
+   - Matrix results are byte-identical for any worker count (ordering is
+     restored after stealing, errors surface lowest-index-first).
+   - DPOR's violation set equals exhaustive DFS's wherever DFS can
+     finish, and equals the scenarios' pinned expectations everywhere —
+     while exploring orders of magnitude fewer schedules. *)
+
+module Matrix = Threads_runner.Matrix
+module Rng = Threads_util.Rng
+module Ex = Firefly.Explore
+module Sc = Threads_harness.Explore_scenarios
+module Bk = Threads_backend.Backend
+module Wl = Threads_backend.Workload
+module Cc = Threads_backend.Crosscheck
+
+let job_counts = [ 1; 2; 4; 8 ]
+
+(* ---- Matrix.map ---- *)
+
+let test_map_values () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let got = Matrix.map ~jobs ~n (fun i -> (i * 7) + 1) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map n=%d jobs=%d" n jobs)
+            (Array.init n (fun i -> (i * 7) + 1))
+            got)
+        [ 0; 1; 3; 17; 100 ])
+    job_counts
+
+let test_map_uneven_cells () =
+  (* Wildly unbalanced cell costs force actual stealing; the result must
+     still come back in index order. *)
+  let n = 64 in
+  let cell i =
+    let r = Rng.cell ~base:99 ~index:i in
+    let spin = if i mod 7 = 0 then 20_000 else 10 in
+    let acc = ref 0 in
+    for _ = 1 to spin do
+      acc := !acc + Rng.int r 5
+    done;
+    (i, !acc)
+  in
+  let seq = Matrix.map ~jobs:1 ~n cell in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array (pair int int)))
+        (Printf.sprintf "uneven jobs=%d" jobs)
+        seq
+        (Matrix.map ~jobs ~n cell))
+    job_counts
+
+exception Boom of int
+
+let test_map_lowest_error () =
+  List.iter
+    (fun jobs ->
+      match
+        Matrix.map ~jobs ~n:50 (fun i ->
+            if i = 13 || i = 37 then raise (Boom i) else i)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "lowest failing cell wins (jobs=%d)" jobs)
+          13 i)
+    job_counts
+
+(* ---- Matrix.iter_ordered ---- *)
+
+let test_iter_ordered_order () =
+  List.iter
+    (fun jobs ->
+      (* More cells than the in-flight window, so producers must block on
+         the consumer's watermark at least once when jobs > 1. *)
+      let n = 1000 in
+      let seen = ref [] in
+      Matrix.iter_ordered ~jobs ~n
+        ~f:(fun i -> i * 3)
+        ~consume:(fun i v ->
+          Alcotest.(check int) "value matches index" (i * 3) v;
+          seen := i :: !seen)
+        ();
+      Alcotest.(check (list int))
+        (Printf.sprintf "all cells in order (jobs=%d)" jobs)
+        (List.init n (fun i -> i))
+        (List.rev !seen))
+    job_counts
+
+let test_iter_ordered_error () =
+  List.iter
+    (fun jobs ->
+      let consumed = ref [] in
+      (match
+         Matrix.iter_ordered ~jobs ~n:40
+           ~f:(fun i -> if i >= 20 then raise (Boom i) else i)
+           ~consume:(fun i _ -> consumed := i :: !consumed)
+           ()
+       with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "first failing cell raised (jobs=%d)" jobs)
+          20 i);
+      (* Everything before the failing cell was consumed, in order. *)
+      Alcotest.(check (list int)) "prefix consumed"
+        (List.init 20 (fun i -> i))
+        (List.rev !consumed))
+    job_counts
+
+(* ---- per-cell RNG ---- *)
+
+let test_rng_cell_deterministic () =
+  let a = Rng.cell ~base:5 ~index:9 and b = Rng.cell ~base:5 ~index:9 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same cell, same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_cell_independent () =
+  (* Adjacent cells and adjacent bases must not produce overlapping or
+     correlated prefixes. *)
+  let streams =
+    [ Rng.cell ~base:5 ~index:0; Rng.cell ~base:5 ~index:1;
+      Rng.cell ~base:6 ~index:0; Rng.cell ~base:4 ~index:2 ]
+  in
+  let prefixes =
+    List.map (fun r -> List.init 8 (fun _ -> Rng.next r)) streams
+  in
+  let rec all_pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ all_pairs rest
+  in
+  List.iter
+    (fun (xs, ys) ->
+      Alcotest.(check bool) "distinct prefixes" true (xs <> ys))
+    (all_pairs prefixes)
+
+(* ---- crosscheck matrices: parity across worker counts ---- *)
+
+let summary_fingerprint (s : Cc.summary) =
+  ( Cc.verdicts s,
+    Cc.observables s,
+    Cc.events s,
+    Cc.violations s,
+    List.map (fun (r : Cc.run) -> r.Cc.seed) s.Cc.runs )
+
+let test_conform_jobs_parity () =
+  let b = Option.get (Bk.find "uniproc") in
+  let wl = Option.get (Wl.find "condvar") in
+  let reference = summary_fingerprint (Cc.conform ~jobs:1 b wl ~seeds:6) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "conform summary identical (jobs=%d)" jobs)
+        true
+        (summary_fingerprint (Cc.conform ~jobs b wl ~seeds:6) = reference))
+    [ 2; 4; 8 ]
+
+let test_diff_jobs_parity () =
+  let wl = Option.get (Wl.find "mutex") in
+  (* The hardware backend's event counts are timing-dependent (real
+     domains) at any worker count; only the simulator-family backends
+     promise byte-identical summaries.  For hardware, pin the stable
+     contract: verdicts and violations. *)
+  let fp summaries =
+    List.map
+      (fun (s : Cc.summary) ->
+        if s.Cc.backend.Bk.real_parallelism then
+          (Cc.verdicts s, [], 0, Cc.violations s, [])
+        else summary_fingerprint s)
+      summaries
+  in
+  let reference = fp (Cc.diff ~jobs:1 wl ~seeds:2) in
+  Alcotest.(check bool) "diff summaries identical (jobs=4)" true
+    (fp (Cc.diff ~jobs:4 wl ~seeds:2) = reference)
+
+let chaos_report ~jobs b wl ~plans ~seeds =
+  let buf = Buffer.create 4096 in
+  let t = Cc.chaos_stream ~jobs ~emit:(Buffer.add_string buf) b wl ~plans ~seeds in
+  (Buffer.contents buf, t.Cc.ct_classes, t.Cc.ct_failures)
+
+let test_chaos_stream_parity () =
+  let b = Option.get (Bk.find "uniproc") in
+  let wl = Option.get (Wl.find "mutex") in
+  let reference = chaos_report ~jobs:1 b wl ~plans:3 ~seeds:2 in
+  (* Streaming at jobs=1 must emit exactly what the retained summary
+     renders... *)
+  let retained =
+    Format.asprintf "%a" Cc.render_chaos (Cc.chaos ~jobs:1 b wl ~plans:3 ~seeds:2)
+  in
+  let ref_text, _, _ = reference in
+  Alcotest.(check string) "stream bytes = render_chaos bytes" retained ref_text;
+  (* ...and the bytes must not depend on the worker count. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos report identical (jobs=%d)" jobs)
+        true
+        (chaos_report ~jobs b wl ~plans:3 ~seeds:2 = reference))
+    [ 2; 4; 8 ]
+
+(* The multicore package is one-per-process (global nub, alert tables,
+   trace sink); its run entry points serialize on a package mutex so
+   parallel matrix cells queue instead of corrupting each other.
+   Before that lock, two overlapping traced runs raced reset() against
+   a live alert_wait and deadlocked `repro diff --workload=alert
+   --jobs=N` a majority of the time. *)
+let test_multicore_package_serializes () =
+  let module MC = Threads_multicore.Multicore in
+  let module S = MC.Sync in
+  let body () =
+    let m = S.mutex () in
+    let c = S.condition () in
+    let w =
+      S.fork (fun () ->
+          try
+            S.with_lock m (fun () ->
+                while true do
+                  S.alert_wait m c
+                done)
+          with Taos_threads.Sync_intf.Alerted -> ())
+    in
+    S.alert w;
+    S.join w
+  in
+  let ds =
+    List.init 2 (fun _ -> Domain.spawn (fun () -> ignore (MC.traced_run body)))
+  in
+  List.iter Domain.join ds
+
+(* ---- DPOR vs exhaustive DFS ---- *)
+
+let scenario name = Option.get (Sc.find name)
+
+(* Where plain DFS can finish, its violation set is the ground truth
+   DPOR must reproduce — with far fewer executions. *)
+let test_dpor_matches_dfs () =
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      let dfs_v, dfs_stats, complete =
+        Ex.explore_all ~max_depth:s.Sc.max_depth ~max_runs:500_000
+          ~build:s.Sc.build s.Sc.check
+      in
+      Alcotest.(check bool) (name ^ ": DFS exhausted the tree") true complete;
+      let dpor_v, dpor_stats =
+        Ex.explore_dpor ~max_depth:s.Sc.max_depth ~build:s.Sc.build s.Sc.check
+      in
+      Alcotest.(check bool) (name ^ ": DPOR complete") true
+        dpor_stats.Ex.complete;
+      Alcotest.(check (list string))
+        (name ^ ": DPOR and DFS find the same violations")
+        dfs_v dpor_v;
+      Alcotest.(check (list string))
+        (name ^ ": pinned expectation") s.Sc.expect dpor_v;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: DPOR prunes (%d < %d)" name
+           dpor_stats.Ex.executions dfs_stats.Ex.terminal_runs)
+        true
+        (dpor_stats.Ex.executions < dfs_stats.Ex.terminal_runs))
+    [ "wakeup-waiting"; "hoare-signal" ]
+
+(* The rest of the catalogue is too big for DFS; DPOR must still finish
+   and land exactly on the pinned expectations (E5's two stranding
+   classes, clean alert cancellation, clean disjoint locks). *)
+let test_dpor_pinned_expectations () =
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      let v, st =
+        Ex.explore_dpor ~max_depth:s.Sc.max_depth ~build:s.Sc.build s.Sc.check
+      in
+      Alcotest.(check bool) (name ^ ": complete") true st.Ex.complete;
+      Alcotest.(check (list string)) (name ^ ": violations") s.Sc.expect v)
+    [ "alert-cancel"; "naive-broadcast"; "disjoint-locks" ]
+
+let test_dpor_parallel_jobs_parity () =
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      let run jobs =
+        Ex.explore_dpor_parallel ~max_depth:s.Sc.max_depth ~split_branches:2
+          ~jobs ~build:s.Sc.build s.Sc.check
+      in
+      let reference = run 1 in
+      let _, ref_stats = reference in
+      Alcotest.(check bool) (name ^ ": complete") true ref_stats.Ex.complete;
+      let ref_v, _ = reference in
+      Alcotest.(check (list string))
+        (name ^ ": split search agrees with expectation") s.Sc.expect ref_v;
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: identical result (jobs=%d)" name jobs)
+            true
+            (run jobs = reference))
+        [ 2; 4; 8 ])
+    [ "wakeup-waiting"; "alert-cancel"; "hoare-signal" ]
+
+let test_dpor_deterministic () =
+  let s = scenario "wakeup-waiting" in
+  let run () =
+    Ex.explore_dpor ~max_depth:s.Sc.max_depth ~build:s.Sc.build s.Sc.check
+  in
+  Alcotest.(check bool) "two runs, same everything" true (run () = run ())
+
+let suite =
+  ( "runner-scaleout",
+    [
+      Alcotest.test_case "matrix map values" `Quick test_map_values;
+      Alcotest.test_case "matrix map uneven cells" `Quick
+        test_map_uneven_cells;
+      Alcotest.test_case "matrix map lowest error" `Quick
+        test_map_lowest_error;
+      Alcotest.test_case "iter_ordered order" `Quick test_iter_ordered_order;
+      Alcotest.test_case "iter_ordered error" `Quick test_iter_ordered_error;
+      Alcotest.test_case "rng cell deterministic" `Quick
+        test_rng_cell_deterministic;
+      Alcotest.test_case "rng cell independent" `Quick
+        test_rng_cell_independent;
+      Alcotest.test_case "conform jobs parity" `Quick
+        test_conform_jobs_parity;
+      Alcotest.test_case "diff jobs parity" `Quick test_diff_jobs_parity;
+      Alcotest.test_case "chaos stream parity" `Quick
+        test_chaos_stream_parity;
+      Alcotest.test_case "multicore package serializes" `Quick
+        test_multicore_package_serializes;
+      Alcotest.test_case "dpor matches exhaustive dfs" `Slow
+        test_dpor_matches_dfs;
+      Alcotest.test_case "dpor pinned expectations" `Slow
+        test_dpor_pinned_expectations;
+      Alcotest.test_case "dpor parallel jobs parity" `Quick
+        test_dpor_parallel_jobs_parity;
+      Alcotest.test_case "dpor deterministic" `Quick test_dpor_deterministic;
+    ] )
