@@ -18,7 +18,27 @@ module Tid = Threads_util.Tid
 
 type severity = Error | Warning
 
-type finding = { f_severity : severity; f_proc : string; f_msg : string }
+type kind =
+  | Well_formed
+  | Dead_case
+  | Unimplementable_case
+  | Unconstrained_modifies
+  | Eval_failure
+
+let kind_name = function
+  | Well_formed -> "well-formedness"
+  | Dead_case -> "dead-case"
+  | Unimplementable_case -> "unimplementable-case"
+  | Unconstrained_modifies -> "unconstrained-modifies"
+  | Eval_failure -> "eval-failure"
+
+type finding = {
+  f_severity : severity;
+  f_kind : kind;
+  f_proc : string;
+  f_msg : string;
+  f_pos : Spec_core.Lexer.pos option;
+}
 
 let self : Tid.t = 1
 let other : Tid.t = 2
@@ -92,14 +112,44 @@ let enumerate iface (p : P.t) =
         alerts_pool)
     (product formals)
 
+(* Whether a call of [p] can block: some action can find every WHEN
+   guard false in a small-universe state (the first action only in
+   states where REQUIRES holds — callers must establish it). *)
+let may_delay iface (p : P.t) =
+  let universe = enumerate iface p in
+  let rec go ai = function
+    | [] -> false
+    | (act : P.action) :: rest ->
+      let gated = ai = 0 in
+      List.exists
+        (fun (bindings, pre) ->
+          (not (gated && not (Sem.requires_holds p ~self ~bindings pre)))
+          && Sem.enabled act ~self ~bindings pre = [])
+        universe
+      || go (ai + 1) rest
+  in
+  go 0 (P.actions p)
+
 let outcome_str = function
   | P.Returns -> "RETURNS"
   | P.Raises e -> "RAISES " ^ e
 
-let lint_proc iface (p : P.t) =
+let lint_proc ?(locs = Spec_core.Parser.no_locs) iface (p : P.t) =
   let findings = ref [] in
-  let add sev msg =
-    findings := { f_severity = sev; f_proc = p.P.p_name; f_msg = msg } :: !findings
+  let add sev kind ?pos msg =
+    findings :=
+      { f_severity = sev; f_kind = kind; f_proc = p.P.p_name; f_msg = msg;
+        f_pos = pos }
+      :: !findings
+  in
+  let proc_pos = Spec_core.Parser.loc_proc locs p.P.p_name in
+  let case_pos (act : P.action) ci =
+    match
+      Spec_core.Parser.loc_case locs ~proc:p.P.p_name ~action:act.P.a_name
+        (ci + 1)
+    with
+    | Some _ as pos -> pos
+    | None -> proc_pos
   in
   (try
      let universe = enumerate iface p in
@@ -119,7 +169,7 @@ let lint_proc iface (p : P.t) =
            (fun ci (c : P.case) ->
              let where = List.filter (fun (_, _, en) -> List.mem ci en) admitting in
              if where = [] then
-               add Error
+               add Error Dead_case ?pos:(case_pos act ci)
                  (Printf.sprintf
                     "action %s, case %d (%s): WHEN guard%s is never \
                      satisfiable — dead case"
@@ -135,7 +185,7 @@ let lint_proc iface (p : P.t) =
                         (Sem.outcomes iface p act ~self ~bindings pre))
                     where)
              then
-               add Error
+               add Error Unimplementable_case ?pos:(case_pos act ci)
                  (Printf.sprintf
                     "action %s, case %d (%s): ENSURES admits no post state \
                      from any enabling pre state — unimplementable case"
@@ -154,29 +204,42 @@ let lint_proc iface (p : P.t) =
      List.iter
        (fun name ->
          if not (List.mem name constrained) then
-           add Warning
+           add Warning Unconstrained_modifies ?pos:proc_pos
              (Printf.sprintf
                 "MODIFIES lists %s but no ENSURES constrains %s_post — the \
                  object may change arbitrarily"
                 name name))
        p.P.p_modifies
    with Spec_core.Term.Eval_error msg ->
-     add Error (Printf.sprintf "evaluation error while checking: %s" msg));
+     add Error Eval_failure ?pos:proc_pos
+       (Printf.sprintf "evaluation error while checking: %s" msg));
   List.rev !findings
 
-let lint iface =
+let lint ?(locs = Spec_core.Parser.no_locs) iface =
   let wf =
     List.map
-      (fun msg -> { f_severity = Error; f_proc = iface.P.i_name; f_msg = msg })
+      (fun msg ->
+        (* well_formed prefixes each message with the offending
+           procedure's name ("Proc: ..."); use it for the position. *)
+        let pos =
+          match String.index_opt msg ':' with
+          | Some i -> Spec_core.Parser.loc_proc locs (String.sub msg 0 i)
+          | None -> None
+        in
+        { f_severity = Error; f_kind = Well_formed; f_proc = iface.P.i_name;
+          f_msg = msg; f_pos = pos })
       (P.well_formed iface)
   in
   (* Clause checks assume well-formedness; skip them when it fails. *)
   if wf <> [] then wf
-  else List.concat_map (lint_proc iface) iface.P.i_procs
+  else List.concat_map (lint_proc ~locs iface) iface.P.i_procs
 
 let errors fs = List.filter (fun f -> f.f_severity = Error) fs
 
 let pp_finding ppf f =
+  (match f.f_pos with
+  | Some p -> Format.fprintf ppf "%a: " Spec_core.Lexer.pp_pos p
+  | None -> ());
   Format.fprintf ppf "%s: %s: %s"
     (match f.f_severity with Error -> "error" | Warning -> "warning")
     f.f_proc f.f_msg

@@ -16,13 +16,58 @@
 
 type severity = Error | Warning
 
-type finding = { f_severity : severity; f_proc : string; f_msg : string }
+(** What a finding is about, so downstream tools (the static verifier's
+    diagnostic classes, JSON reports) need not parse messages. *)
+type kind =
+  | Well_formed  (** a {!Spec_core.Proc.well_formed} violation *)
+  | Dead_case  (** WHEN never satisfiable *)
+  | Unimplementable_case  (** ENSURES admits no post state *)
+  | Unconstrained_modifies  (** MODIFIES name no ENSURES constrains *)
+  | Eval_failure  (** the clause semantics raised while checking *)
 
-val lint : Spec_core.Proc.interface -> finding list
+val kind_name : kind -> string
+(** Stable kebab-case name: ["well-formedness"], ["dead-case"],
+    ["unimplementable-case"], ["unconstrained-modifies"],
+    ["eval-failure"]. *)
+
+type finding = {
+  f_severity : severity;
+  f_kind : kind;
+  f_proc : string;
+  f_msg : string;
+  f_pos : Spec_core.Lexer.pos option;
+      (** source position, when the interface came from the parser and a
+          location table was supplied *)
+}
+
+val lint :
+  ?locs:Spec_core.Parser.locs -> Spec_core.Proc.interface -> finding list
 (** Findings in declaration order.  When [well_formed] reports anything,
     only those errors are returned (clause checks assume
-    well-formedness). *)
+    well-formedness).  [locs] attaches [FILE:LINE:COL]-able positions. *)
 
 val errors : finding list -> finding list
 
 val pp_finding : Format.formatter -> finding -> unit
+(** Renders ["error: Proc: msg"], with a ["LINE:COL: "] prefix when the
+    finding has a position. *)
+
+(** {1 Small-state clause semantics, shared with the static verifier} *)
+
+(** [enumerate iface p] — every (bindings, pre-state) pair over the small
+    universe: VAR formals become objects ranging over their sort's pool
+    (positional ids [1..n]), by-value formals range over the argument
+    pool, and [alerts] over all two-thread subsets.  The distinguished
+    SELF thread is id 1. *)
+val enumerate :
+  Spec_core.Proc.interface ->
+  Spec_core.Proc.t ->
+  ((string * Spec_core.Term.binding) list * Spec_core.State.t) list
+
+(** [may_delay iface p] — whether some action of [p] can find every WHEN
+    guard false in a reachable small-universe state (first actions are
+    gated by REQUIRES), i.e. whether a call can block.  Procedures whose
+    every action always has an enabled case (Release, Signal, V, ...,
+    and TimedP, whose unguarded timeout case is always an out) never
+    delay. *)
+val may_delay : Spec_core.Proc.interface -> Spec_core.Proc.t -> bool

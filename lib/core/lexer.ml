@@ -36,7 +36,11 @@ let pp_token ppf = function
   | ARROW -> Format.pp_print_string ppf "'=>'"
   | EOF -> Format.pp_print_string ppf "end of input"
 
-exception Lex_error of string * int
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+exception Lex_error of string * pos
 
 let keywords =
   [
@@ -56,13 +60,18 @@ let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
-  let emit t = toks := (t, !line) :: !toks in
+  let bol = ref 0 in
+  (* offset of the current line's first character *)
   let i = ref 0 in
+  let pos_at j = { line = !line; col = j - !bol + 1 } in
+  let emit_at j t = toks := (t, pos_at j) :: !toks in
+  let emit t = emit_at !i t in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
@@ -77,7 +86,8 @@ let tokenize src =
         incr i
       done;
       let word = String.sub src start (!i - start) in
-      if List.mem word keywords then emit (KW word) else emit (IDENT word)
+      if List.mem word keywords then emit_at start (KW word)
+      else emit_at start (IDENT word)
     end
     else begin
       let two = if !i + 1 < n then String.sub src !i 2 else "" in
@@ -101,7 +111,8 @@ let tokenize src =
         | '|' -> emit BAR
         | '~' -> emit TILDE
         | _ ->
-          raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, pos_at !i)));
         incr i
       end
     end

@@ -27,10 +27,16 @@ type token =
 
 val pp_token : Format.formatter -> token -> unit
 
-exception Lex_error of string * int  (** message, line number *)
+(** A source position: 1-based line and column of a token's first
+    character, so diagnostics can cite [threads.lspec:LINE:COL]. *)
+type pos = { line : int; col : int }
 
-(** [tokenize src] returns the token stream with line numbers. *)
-val tokenize : string -> (token * int) list
+val pp_pos : Format.formatter -> pos -> unit
+
+exception Lex_error of string * pos  (** message, position *)
+
+(** [tokenize src] returns the token stream with source positions. *)
+val tokenize : string -> (token * pos) list
 
 (** The reserved keyword set. *)
 val keywords : string list

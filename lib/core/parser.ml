@@ -1,21 +1,34 @@
 open Lexer
 
-exception Parse_error of string * int
+exception Parse_error of string * Lexer.pos
+
+(* Declaration positions, keyed by "proc", "proc.action" and
+   "proc.action#case" (1-based case index). *)
+type locs = (string, Lexer.pos) Hashtbl.t
+
+let no_locs : locs = Hashtbl.create 1
+let loc_proc locs name = Hashtbl.find_opt locs name
+let loc_action locs ~proc a = Hashtbl.find_opt locs (proc ^ "." ^ a)
+
+let loc_case locs ~proc ~action i =
+  Hashtbl.find_opt locs (Printf.sprintf "%s.%s#%d" proc action i)
 
 type st = {
-  mutable toks : (token * int) array;
+  mutable toks : (token * Lexer.pos) array;
   mutable pos : int;
   mutable ret : string option;  (* return formal of the current procedure *)
+  locs : locs;
 }
 
 let current st = fst st.toks.(st.pos)
-let line st = snd st.toks.(st.pos)
+let position st = snd st.toks.(st.pos)
+let record st key pos = Hashtbl.replace st.locs key pos
 
 let peek2 st =
   if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else EOF
 
 let error st fmt =
-  Format.kasprintf (fun s -> raise (Parse_error (s, line st))) fmt
+  Format.kasprintf (fun s -> raise (Parse_error (s, position st))) fmt
 
 let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
 
@@ -257,11 +270,19 @@ let case_starts st =
   | KW ("RETURNS" | "RAISES" | "WHEN" | "ENSURES") -> true
   | _ -> false
 
-let parse_cases st =
-  let rec go acc =
-    if case_starts st then go (parse_case st :: acc) else List.rev acc
+(* [key] is the "proc.action" path the cases belong to, for the location
+   table. *)
+let parse_cases st key =
+  let rec go i acc =
+    if case_starts st then begin
+      let cpos = position st in
+      let case = parse_case st in
+      record st (Printf.sprintf "%s#%d" key i) cpos;
+      go (i + 1) (case :: acc)
+    end
+    else List.rev acc
   in
-  let cases = go [] in
+  let cases = go 1 [] in
   if cases = [] then error st "expected at least one WHEN/ENSURES case";
   cases
 
@@ -283,8 +304,10 @@ let parse_formals st =
   end
 
 let parse_procedure st ~atomic =
+  let ppos = position st in
   kw st "PROCEDURE";
   let name = ident st in
+  record st name ppos;
   let formals = parse_formals st in
   let returns =
     if current st = KW "RETURNS" && peek2 st = LPAREN then begin
@@ -349,15 +372,19 @@ let parse_procedure st ~atomic =
     | None ->
       if not atomic then
         error st "procedure %s has no COMPOSITION and is not ATOMIC" name;
-      Proc.Atomic { Proc.a_name = name; a_cases = parse_cases st }
+      record st (name ^ "." ^ name) ppos;
+      Proc.Atomic
+        { Proc.a_name = name; a_cases = parse_cases st (name ^ "." ^ name) }
     | Some names ->
       if atomic then
         error st "ATOMIC PROCEDURE %s cannot be a COMPOSITION" name;
       let parse_action () =
+        let apos = position st in
         kw st "ATOMIC";
         kw st "ACTION";
         let a_name = ident st in
-        { Proc.a_name; a_cases = parse_cases st }
+        record st (name ^ "." ^ a_name) apos;
+        { Proc.a_name; a_cases = parse_cases st (name ^ "." ^ a_name) }
       in
       let rec go acc =
         if current st = KW "ATOMIC" && peek2 st = KW "ACTION" then
@@ -431,13 +458,20 @@ let parse_interface st =
   }
 
 let make_state src =
-  { toks = Array.of_list (tokenize src); pos = 0; ret = None }
+  {
+    toks = Array.of_list (tokenize src);
+    pos = 0;
+    ret = None;
+    locs = Hashtbl.create 64;
+  }
 
-let interface_of_string src =
+let interface_of_string_located src =
   let st = make_state src in
   let iface = parse_interface st in
   expect st EOF;
-  iface
+  (iface, st.locs)
+
+let interface_of_string src = fst (interface_of_string_located src)
 
 let formula_of_string ?ret src =
   let st = make_state src in

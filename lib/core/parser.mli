@@ -26,11 +26,34 @@
     An identifier ending in [_post] denotes the post-state value; the
     procedure's return formal denotes [RESULT]. *)
 
-exception Parse_error of string * int  (** message, line *)
+exception Parse_error of string * Lexer.pos  (** message, position *)
+
+(** Source positions of the declarations of a parsed interface, so
+    diagnostics can cite [FILE:LINE:COL].  Kept outside {!Proc.interface}
+    so parsed and programmatically-built interfaces stay structurally
+    equal ([Proc.equal_interface]). *)
+type locs
+
+(** An empty table (e.g. for programmatically-built interfaces). *)
+val no_locs : locs
+
+(** Position of [PROCEDURE name]'s declaration. *)
+val loc_proc : locs -> string -> Lexer.pos option
+
+(** Position of [ATOMIC ACTION action] inside [proc] (for an atomic
+    procedure the action shares the procedure's name and position). *)
+val loc_action : locs -> proc:string -> string -> Lexer.pos option
+
+(** Position of the 1-based [case]-th case of [action] inside [proc]. *)
+val loc_case : locs -> proc:string -> action:string -> int -> Lexer.pos option
 
 (** [interface_of_string src] parses a complete interface.  Raises
     {!Parse_error} or [Lexer.Lex_error]. *)
 val interface_of_string : string -> Proc.interface
+
+(** Like {!interface_of_string} but also returns the declaration
+    positions. *)
+val interface_of_string_located : string -> Proc.interface * locs
 
 (** [formula_of_string ?ret src] parses a single formula; [ret] is the
     return-formal name resolving to [RESULT], if any. *)

@@ -71,7 +71,13 @@ let run ?(max_states = 2_000_000) iface (scenario : Program.t) =
   in
   let init_state =
     List.fold_left
-      (fun st (_, obj) -> State.add obj (Value.initial obj.Spec_obj.sort) st)
+      (fun st (name, obj) ->
+        let v =
+          match List.assoc_opt name scenario.initials with
+          | Some v -> v
+          | None -> Value.initial obj.Spec_obj.sort
+        in
+        State.add obj v st)
       State.empty objects
   in
   let nprogs = Array.length scenario.programs in

@@ -27,11 +27,14 @@ type t = {
   programs : step list array;
   invariant : (view -> string option) option;
   allow_deadlock : bool;
+  initials : (string * Value.t) list;
+  interrupts : int list;
 }
 
-let make ~name ~objects ~programs ?invariant ?(allow_deadlock = false) () =
+let make ~name ~objects ~programs ?invariant ?(allow_deadlock = false)
+    ?(initials = []) ?(interrupts = []) () =
   { name; objects; programs = Array.of_list programs; invariant;
-    allow_deadlock }
+    allow_deadlock; initials; interrupts }
 
 let no_stale_waiters ~c ~waits view =
   let members = Value.as_set (value view c) in

@@ -39,6 +39,11 @@ type t = {
   programs : step list array;
   invariant : (view -> string option) option;
   allow_deadlock : bool;
+  initials : (string * Spec_core.Value.t) list;
+      (** per-object initial values overriding the sort's default *)
+  interrupts : int list;
+      (** programs that model interrupt handlers (static analysis flags
+          potentially-blocking calls inside them) *)
 }
 
 val make :
@@ -47,6 +52,8 @@ val make :
   programs:step list list ->
   ?invariant:(view -> string option) ->
   ?allow_deadlock:bool ->
+  ?initials:(string * Spec_core.Value.t) list ->
+  ?interrupts:int list ->
   unit ->
   t
 

@@ -41,6 +41,7 @@ let () =
       Test_cross_backend.suite;
       Test_fault.suite;
       Test_analysis.suite;
+      Test_staticcheck.suite;
       Test_profile.suite;
       Test_runner.suite;
     ]

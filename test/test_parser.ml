@@ -11,14 +11,19 @@ let test_tokenize () =
       Lexer.KW "ENSURES"; Lexer.LBRACE; Lexer.RBRACE; Lexer.EOF ] ->
     ()
   | _ -> Alcotest.fail "unexpected token stream");
-  (* line numbers advance past comments *)
-  let lines = List.map snd toks in
-  Alcotest.(check int) "ENSURES on line 2" 2 (List.nth lines 4)
+  (* positions advance past comments, columns are 1-based *)
+  let pos i = List.nth toks i |> snd in
+  Alcotest.(check int) "WHEN on line 1" 1 (pos 0).Lexer.line;
+  Alcotest.(check int) "WHEN at col 1" 1 (pos 0).Lexer.col;
+  Alcotest.(check int) "m at col 6" 6 (pos 1).Lexer.col;
+  Alcotest.(check int) "ENSURES on line 2" 2 (pos 4).Lexer.line;
+  Alcotest.(check int) "ENSURES at col 1" 1 (pos 4).Lexer.col;
+  Alcotest.(check int) "'{' at col 9" 9 (pos 5).Lexer.col
 
 let test_lex_error () =
   Alcotest.(check bool) "bad char" true
     (try ignore (Lexer.tokenize "m = @"); false
-     with Lexer.Lex_error (_, 1) -> true)
+     with Lexer.Lex_error (_, { Lexer.line = 1; col = 5 }) -> true)
 
 let test_parse_source_equals_builtin () =
   let parsed = Parser.interface_of_string Threads_interface.source in
@@ -100,6 +105,95 @@ PROCEDURE F(VAR m : Mutex) = COMPOSITION OF A; B END
   ATOMIC ACTION Wrong
     ENSURES m_post = NIL
 |})
+
+(* Golden error messages: diagnostics are part of the interface.  Each
+   malformed input must fail with exactly this message at exactly this
+   position (what a user sees as FILE:LINE:COL: message). *)
+let test_parse_error_goldens () =
+  let golden src expected =
+    let got =
+      try
+        ignore (Parser.interface_of_string src);
+        "(no error)"
+      with
+      | Parser.Parse_error (msg, p) ->
+        Printf.sprintf "%d:%d: parse error: %s" p.Lexer.line p.Lexer.col msg
+      | Lexer.Lex_error (msg, p) ->
+        Printf.sprintf "%d:%d: lexical error: %s" p.Lexer.line p.Lexer.col msg
+    in
+    Alcotest.(check string) expected expected got
+  in
+  golden "TYPE Mutex = Thread"
+    "1:1: parse error: expected keyword INTERFACE but found keyword TYPE";
+  golden
+    {|INTERFACE X
+TYPE Mutex = Thread INITIALLY NIL
+PROCEDURE F(VAR m : Mutex)
+  ENSURES m_post = NIL
+|}
+    "4:3: parse error: procedure F has no COMPOSITION and is not ATOMIC";
+  golden
+    {|INTERFACE X
+TYPE Mutex = Thread INITIALLY NIL
+ATOMIC PROCEDURE F(VAR m : Mutex)
+  MODIFIES AT MOST [m]
+  WHEN m = NIL
+|}
+    "6:1: parse error: expected keyword ENSURES but found end of input";
+  golden
+    {|INTERFACE X
+TYPE Mutex = Thread INITIALLY NIL
+ATOMIC PROCEDURE F(VAR m : Mutex)
+  ENSURES m_post = insert(
+|}
+    "5:1: parse error: expected an expression but found end of input";
+  golden
+    {|INTERFACE X
+TYPE M = Thread INITIALLY NIL
+ATOMIC PROCEDURE F(VAR m : M)
+  ENSURES m_post @ NIL
+|}
+    "4:18: lexical error: unexpected character '@'"
+
+(* The position side-table of the located parse: declarations of the
+   shipped source are found at the line where their keyword appears. *)
+let test_located_positions () =
+  let _, locs = Parser.interface_of_string_located Threads_interface.source in
+  let lines = String.split_on_char '\n' Threads_interface.source in
+  let line_of needle =
+    let contains hay =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    match
+      List.find_index contains lines
+    with
+    | Some i -> i + 1
+    | None -> Alcotest.fail ("source line not found: " ^ needle)
+  in
+  let check_proc name =
+    match Parser.loc_proc locs name with
+    | None -> Alcotest.fail (name ^ ": no position")
+    | Some p ->
+      Alcotest.(check int)
+        (name ^ " line")
+        (line_of ("PROCEDURE " ^ name))
+        p.Lexer.line
+  in
+  List.iter check_proc
+    [ "Acquire"; "Release"; "Wait"; "Signal"; "Broadcast"; "P"; "V";
+      "Alert"; "TestAlert"; "AlertP"; "AlertWait"; "TimedP"; "TimedWait" ];
+  (match Parser.loc_action locs ~proc:"Wait" "Resume" with
+  | None -> Alcotest.fail "Wait.Resume: no position"
+  | Some p ->
+    Alcotest.(check int) "Wait.Resume line" (line_of "ATOMIC ACTION Resume")
+      p.Lexer.line);
+  (* an unlocated (programmatically built) interface has no positions *)
+  Alcotest.(check bool) "no_locs empty" true
+    (Parser.loc_proc Parser.no_locs "Acquire" = None)
 
 let test_formula_precedence () =
   let f = Parser.formula_of_string in
@@ -210,6 +304,8 @@ let suite =
       Alcotest.test_case "well-formedness violations" `Quick
         test_well_formed_catches;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse error goldens" `Quick test_parse_error_goldens;
+      Alcotest.test_case "located positions" `Quick test_located_positions;
       Alcotest.test_case "precedence" `Quick test_formula_precedence;
       Alcotest.test_case "terms" `Quick test_term_parsing;
       q prop_formula_roundtrip;
