@@ -300,6 +300,7 @@ let dpor_block =
       ("dfs_complete", Bool dfs_complete);
       ("dpor_executions", Int dpor_stats.Firefly.Explore.executions);
       ("dpor_sleep_blocked", Int dpor_stats.Firefly.Explore.sleep_blocked);
+      ("dpor_peak_depth", Int dpor_stats.Firefly.Explore.peak_depth);
       ("dpor_complete", Bool dpor_stats.Firefly.Explore.complete);
       ( "prune_pct",
         Float
@@ -421,7 +422,10 @@ let arm_key name =
     String.sub name (i + 1) (String.length name - i - 1)
   | _ -> name
 
-let bench_json ~quick rows =
+(* Schema v2 adds a [commit] field (the trajectory's x-axis; Null unless
+   --commit=SHA is passed) next to the v1 keys.  `repro bench-diff`
+   accepts both versions. *)
+let bench_json ~quick ~commit rows =
   let open Obs.Json in
   let record (name, ns) =
     let key = arm_key name in
@@ -437,23 +441,56 @@ let bench_json ~quick rows =
   in
   Obj
     [
-      ("schema_version", Int 1);
+      ("schema_version", Int 2);
+      ("commit", (match commit with Some s -> String s | None -> Null));
       ("quick", Bool quick);
       ("scale_jobs", Int scale_jobs);
       ("dpor", dpor_block);
       ("benchmarks", Arr (List.map record rows));
     ]
 
-let write_bench_json ~quick rows =
-  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+let rec ensure_dir d =
+  if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+let write_bench_json ~quick ~commit ~history rows =
+  let json = bench_json ~quick ~commit rows in
+  ensure_dir "results";
   let oc = open_out "results/BENCH.json" in
-  output_string oc (Obs.Json.to_string (bench_json ~quick rows));
+  output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote results/BENCH.json"
+  print_endline "wrote results/BENCH.json";
+  (* The trajectory is append-only JSON lines, newest last — the shape
+     `repro bench-diff` reads back. *)
+  match history with
+  | None -> ()
+  | Some path ->
+    ensure_dir (Filename.dirname path);
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc (Obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "appended %s\n" path
+
+(* Flag parsing is deliberately bare: --quick, --commit=SHA,
+   --history=FILE (the only flags this binary takes). *)
+let flag_value name =
+  let p = name ^ "=" in
+  Array.fold_left
+    (fun acc a ->
+      if String.length a > String.length p
+         && String.sub a 0 (String.length p) = p
+      then Some (String.sub a (String.length p) (String.length a - String.length p))
+      else acc)
+    None Sys.argv
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let commit = flag_value "--commit" in
+  let history = flag_value "--history" in
   let tests =
     Test.make_grouped ~name:"threads-repro"
       [
@@ -496,6 +533,6 @@ let () =
         (name, ns))
       rows
   in
-  write_bench_json ~quick measured;
+  write_bench_json ~quick ~commit ~history measured;
   print_endline
     "\n(ns per run; full experiment tables: dune exec bin/repro.exe -- all)"

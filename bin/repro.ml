@@ -128,6 +128,149 @@ let write_out ~out s =
     Printf.printf "wrote %s (%d bytes)\n" out (String.length s)
   end
 
+(* ---- flags shared by every report-rendering subcommand ---- *)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
+
+let out_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the report to $(docv) instead of stdout")
+
+(* Shared --jobs flag: 0 means "ask the runtime", 1 (the default) stays
+   sequential, N > 1 spreads the run matrix over N domains.  Reports are
+   byte-identical whatever the value. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the run matrix ($(b,0) = one per available \
+           core).  Results are merged in deterministic order, so output \
+           does not depend on $(docv)")
+
+(* Streaming --out plumbing: [emit] appends a chunk of the report,
+   [finish] closes the file and prints the "wrote" line.  With OUT "-"
+   chunks go straight to stdout, unless [buffer_stdout] delays them to
+   [finish] (for commands that interleave progress lines with report
+   chunks). *)
+let make_emit ?(buffer_stdout = false) out =
+  if out = "-" then
+    if buffer_stdout then begin
+      let buf = Buffer.create 4096 in
+      (Buffer.add_string buf, fun () -> print_string (Buffer.contents buf))
+    end
+    else ((fun s -> print_string s), fun () -> ())
+  else begin
+    let oc =
+      try open_out out
+      with Sys_error e ->
+        Printf.eprintf "cannot write %s: %s\n" out e;
+        exit 1
+    in
+    let written = ref 0 in
+    ( (fun s ->
+        written := !written + String.length s;
+        output_string oc s),
+      fun () ->
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" out !written )
+  end
+
+(* ---- fleet observability flags (--progress / --fleet / --fleet-trace) ---- *)
+
+module Tel = Threads_telemetry
+
+type fleet_opts = {
+  fo_progress : string option;
+  fo_fleet : string option;
+  fo_trace : string option;
+}
+
+let progress_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "progress" ] ~docv:"FILE"
+        ~doc:
+          "Stream JSON-lines progress events (start, phase, heartbeat with \
+           throughput and ETA, straggler flags, per-worker fleet counters) \
+           to $(docv) while the matrix runs, or to stderr when $(docv) is \
+           omitted.  The final report stays byte-identical")
+
+let fleet_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fleet" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write the per-worker fleet utilization table \
+           (cells executed, steals won/failed, idle spins, busy time, \
+           in-flight high-water) to $(docv)")
+
+let fleet_trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fleet-trace" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write a Chrome trace-event worker-occupancy \
+           timeline (one track per worker domain) to $(docv), for \
+           Perfetto / chrome://tracing")
+
+let fleet_term =
+  Term.(
+    const (fun p f t -> { fo_progress = p; fo_fleet = f; fo_trace = t })
+    $ progress_arg $ fleet_file_arg $ fleet_trace_arg)
+
+(* Side files announce themselves on stderr: stdout carries only the
+   report, so telemetered runs stay byte-identical to untelemetered
+   ones. *)
+let write_side_file path s =
+  (try
+     let oc = open_out path in
+     output_string oc s;
+     close_out oc
+   with Sys_error e ->
+     Printf.eprintf "cannot write %s: %s\n" path e;
+     exit 1);
+  Printf.eprintf "wrote %s (%d bytes)\n" path (String.length s)
+
+(* Observability plumbing around a matrix-shaped command.  [total] is
+   the number of matrix cells the command will run (0 = unknown, no
+   ETA).  [k] receives the progress handle (None when no telemetry flag
+   was given) and threads [Tel.Progress.sink] into the runner via the
+   commands' [?telemetry] parameters.  Everything lands on stderr or
+   the named side files, never stdout. *)
+let with_fleet ~label ~jobs ~total opts k =
+  if opts.fo_progress = None && opts.fo_fleet = None && opts.fo_trace = None
+  then k None
+  else begin
+    let dest =
+      Option.map
+        (fun p ->
+          if p = "-" then Tel.Progress.Stderr else Tel.Progress.File p)
+        opts.fo_progress
+    in
+    let p = Tel.Progress.create ?dest ~label ~total ~jobs () in
+    let finally () =
+      Tel.Progress.finish p;
+      let rep = Tel.Progress.fleet_report p in
+      Option.iter
+        (fun f -> write_side_file f (Tel.Fleet.render rep))
+        opts.fo_fleet;
+      Option.iter
+        (fun f ->
+          write_side_file f (Obs.Json.to_string (Tel.Fleet.chrome rep) ^ "\n"))
+        opts.fo_trace
+    in
+    Fun.protect ~finally (fun () -> k (Some p))
+  end
+
 let list_cmd =
   let run () =
     setup ();
@@ -183,19 +326,6 @@ let spec_cmd =
 
 let metrics_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
-  in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the report to $(docv) instead of stdout")
-  in
   let run seed format out =
     let snap = demo_snapshot ~seed in
     match format with
@@ -209,7 +339,7 @@ let metrics_cmd =
           observability report (fast-path rates, counters, high-water \
           gauges, cycle histograms, span aggregates); --format=json \
           --out=FILE emits the same report machine-readably")
-    Term.(const run $ seed $ format $ out)
+    Term.(const run $ seed $ format_arg $ out_arg)
 
 let trace_cmd =
   let seed =
@@ -227,13 +357,6 @@ let trace_cmd =
             "$(docv) is $(b,text) (linearized event trace + conformance \
              check) or $(b,chrome) (trace-event JSON for Perfetto / \
              chrome://tracing, from the demo workload's spans)")
-  in
-  let out =
-    Arg.(
-      value
-      & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the Chrome trace to $(docv) instead of stdout")
   in
   let chrome seed out =
     let snap = demo_snapshot ~seed in
@@ -316,7 +439,7 @@ let trace_cmd =
           trace with a conformance check (--format=text), or export the \
           instrumentation spans as Chrome trace-event JSON \
           (--format=chrome --out=FILE)")
-    Term.(const run $ seed $ variant $ format $ out)
+    Term.(const run $ seed $ variant $ format $ out_arg)
 
 (* ---- cross-backend conformance / differential testing ---- *)
 
@@ -324,18 +447,6 @@ module Bk = Threads_backend.Backend
 module Wl = Threads_backend.Workload
 module Cc = Threads_backend.Crosscheck
 module Runner = Threads_runner
-
-(* Shared --jobs flag: 0 means "ask the runtime", 1 (the default) stays
-   sequential, N > 1 spreads the run matrix over N domains.  Reports are
-   byte-identical whatever the value. *)
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Worker domains for the run matrix ($(b,0) = one per available \
-           core).  Results are merged in deterministic order, so output \
-           does not depend on $(docv)")
 
 let resolve_jobs = Runner.resolve_jobs
 
@@ -382,7 +493,7 @@ let conform_cmd =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N"
            ~doc:"Number of seeds (schedules) per workload")
   in
-  let run backend workload seeds jobs =
+  let run backend workload seeds out jobs fleet =
     let jobs = resolve_jobs jobs in
     let b =
       match Bk.find backend with
@@ -392,32 +503,54 @@ let conform_cmd =
           (String.concat ", " (Bk.names ()));
         exit 1
     in
+    let wls = resolve_workloads workload in
+    let total =
+      seeds * List.length (List.filter (fun wl -> Bk.supports b wl) wls)
+    in
+    let emit, finish = make_emit out in
     let failed = ref false in
-    List.iter
-      (fun (wl : Wl.t) ->
-        let s = Cc.conform ~jobs b wl ~seeds in
-        if s.Cc.skipped then
-          Printf.printf "%-10s skipped (backend lacks a required feature)\n"
-            wl.name
-        else begin
-          Printf.printf "%-10s %d seeds | %s | observable: %s | %d events, %d violations\n"
-            wl.name seeds
-            (pp_verdicts (Cc.verdicts s))
-            (pp_observables (Cc.observables s))
-            (Cc.events s) (Cc.violations s);
-          (match Cc.first_error s with
-          | Some e when not b.Bk.conforming ->
-            Printf.printf "           (expected divergence) first: %s\n" e
-          | Some e ->
-            Printf.printf "           FIRST VIOLATION: %s\n" e
-          | None -> ());
-          if b.Bk.conforming && not (Cc.ok s) then failed := true
-        end)
-      (resolve_workloads workload);
-    if !failed then begin
-      Printf.printf "FAIL: %s claims conformance but diverged\n" b.Bk.name;
-      exit 1
-    end
+    with_fleet ~label:("conform " ^ b.Bk.name) ~jobs ~total fleet
+      (fun prog ->
+        let telemetry = Option.map Tel.Progress.sink prog in
+        List.iter
+          (fun (wl : Wl.t) ->
+            Option.iter
+              (fun p ->
+                Tel.Progress.phase p wl.Wl.name
+                  ~cells:(if Bk.supports b wl then seeds else 0))
+              prog;
+            let s = Cc.conform ?telemetry ~jobs b wl ~seeds in
+            if s.Cc.skipped then
+              emit
+                (Printf.sprintf
+                   "%-10s skipped (backend lacks a required feature)\n"
+                   wl.name)
+            else begin
+              emit
+                (Printf.sprintf
+                   "%-10s %d seeds | %s | observable: %s | %d events, %d \
+                    violations\n"
+                   wl.name seeds
+                   (pp_verdicts (Cc.verdicts s))
+                   (pp_observables (Cc.observables s))
+                   (Cc.events s) (Cc.violations s));
+              (match Cc.first_error s with
+              | Some e when not b.Bk.conforming ->
+                emit
+                  (Printf.sprintf
+                     "           (expected divergence) first: %s\n" e)
+              | Some e ->
+                emit (Printf.sprintf "           FIRST VIOLATION: %s\n" e)
+              | None -> ());
+              if b.Bk.conforming && not (Cc.ok s) then failed := true
+            end)
+          wls);
+    if !failed then
+      emit
+        (Printf.sprintf "FAIL: %s claims conformance but diverged\n"
+           b.Bk.name);
+    finish ();
+    if !failed then exit 1
   in
   Cmd.v
     (Cmd.info "conform"
@@ -426,7 +559,9 @@ let conform_cmd =
           linearization-point trace against the formal specification, and \
           report violations (non-zero exit if a conforming backend \
           diverges)")
-    Term.(const run $ backend $ workload $ seeds $ jobs_arg)
+    Term.(
+      const run $ backend $ workload $ seeds $ out_arg $ jobs_arg
+      $ fleet_term)
 
 let diff_cmd =
   let workload =
@@ -437,42 +572,64 @@ let diff_cmd =
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N"
            ~doc:"Number of seeds (schedules) per backend")
   in
-  let run workload seeds jobs =
+  let run workload seeds out jobs fleet =
     let jobs = resolve_jobs jobs in
+    let wls = resolve_workloads workload in
+    let total =
+      List.fold_left
+        (fun acc wl ->
+          acc
+          + seeds
+            * List.length (List.filter (fun b -> Bk.supports b wl) Bk.all))
+        0 wls
+    in
+    let emit, finish = make_emit out in
     let failed = ref false in
-    List.iter
-      (fun (wl : Wl.t) ->
-        let summaries = Cc.diff ~jobs wl ~seeds in
-        let t =
-          Threads_util.Table.create
-            ~title:
-              (Printf.sprintf "diff: %s (%s; %d seeds per backend)" wl.name
-                 wl.description seeds)
-            [ "backend"; "verdicts"; "observable"; "events"; "violations" ]
-        in
+    with_fleet ~label:"diff" ~jobs ~total fleet (fun prog ->
+        let telemetry = Option.map Tel.Progress.sink prog in
         List.iter
-          (fun s -> Threads_util.Table.add_row t (summary_row s))
-          summaries;
-        Threads_util.Table.print t;
-        List.iter
-          (fun (s : Cc.summary) ->
-            if s.backend.Bk.conforming && not s.skipped && not (Cc.ok s)
-            then begin
-              failed := true;
-              Printf.printf "FAIL: %s diverged on %s%s\n" s.backend.Bk.name
-                wl.name
-                (match Cc.first_error s with
-                | Some e -> ": " ^ e
-                | None -> "")
-            end)
-          summaries;
-        print_newline ())
-      (resolve_workloads workload);
-    print_endline
+          (fun (wl : Wl.t) ->
+            Option.iter
+              (fun p ->
+                Tel.Progress.phase p wl.Wl.name
+                  ~cells:
+                    (seeds
+                    * List.length
+                        (List.filter (fun b -> Bk.supports b wl) Bk.all)))
+              prog;
+            let summaries = Cc.diff ?telemetry ~jobs wl ~seeds in
+            let t =
+              Threads_util.Table.create
+                ~title:
+                  (Printf.sprintf "diff: %s (%s; %d seeds per backend)"
+                     wl.name wl.description seeds)
+                [ "backend"; "verdicts"; "observable"; "events"; "violations" ]
+            in
+            List.iter
+              (fun s -> Threads_util.Table.add_row t (summary_row s))
+              summaries;
+            emit (Threads_util.Table.render t);
+            List.iter
+              (fun (s : Cc.summary) ->
+                if s.backend.Bk.conforming && not s.skipped && not (Cc.ok s)
+                then begin
+                  failed := true;
+                  emit
+                    (Printf.sprintf "FAIL: %s diverged on %s%s\n"
+                       s.backend.Bk.name wl.name
+                       (match Cc.first_error s with
+                       | Some e -> ": " ^ e
+                       | None -> ""))
+                end)
+              summaries;
+            emit "\n")
+          wls);
+    emit
       "Expected divergence: naive deadlocks the broadcast workload (E5: \
        coalescing Vs strand waiters); hoare completes but accrues one \
        Resume violation per effective signal (E8: signal hands the mutex \
-       over, so Resume's WHEN m = NIL fails).";
+       over, so Resume's WHEN m = NIL fails).\n";
+    finish ();
     if !failed then exit 1
   in
   Cmd.v
@@ -482,7 +639,7 @@ let diff_cmd =
           verdicts, observables and spec-conformance side by side; the \
           deliberately-broken baselines must diverge exactly where E5/E8 \
           predict (non-zero exit if a conforming backend diverges)")
-    Term.(const run $ workload $ seeds $ jobs_arg)
+    Term.(const run $ workload $ seeds $ out_arg $ jobs_arg $ fleet_term)
 
 (* ---- chaos conformance: fault injection x spec conformance ---- *)
 
@@ -504,13 +661,7 @@ let chaos_cmd =
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N"
            ~doc:"Number of seeds (schedules) per plan")
   in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the full fault reports to $(docv) instead of stdout")
-  in
-  let run backend workload plans seeds out jobs =
+  let run backend workload plans seeds out jobs fleet =
     let jobs = resolve_jobs jobs in
     let b =
       match Bk.find backend with
@@ -535,49 +686,43 @@ let chaos_cmd =
        comes, so memory stays flat however large the matrix is.  With
        --out=FILE chunks go straight to the file; on stdout they are
        buffered so the progress lines keep printing first, like before. *)
-    let emit, finish =
-      if out = "-" then begin
-        let buf = Buffer.create 4096 in
-        (Buffer.add_string buf, fun () -> print_string (Buffer.contents buf))
-      end
-      else begin
-        let oc =
-          try open_out out
-          with Sys_error e ->
-            Printf.eprintf "cannot write %s: %s\n" out e;
-            exit 1
-        in
-        let written = ref 0 in
-        ( (fun s ->
-            written := !written + String.length s;
-            output_string oc s),
-          fun () ->
-            close_out oc;
-            Printf.printf "wrote %s (%d bytes)\n" out !written )
-      end
+    let emit, finish = make_emit ~buffer_stdout:true out in
+    let wls = resolve_workloads workload in
+    let total =
+      plans * seeds
+      * List.length (List.filter (fun wl -> Bk.supports b wl) wls)
     in
-    List.iter
-      (fun (wl : Wl.t) ->
-        let t = Cc.chaos_stream ~jobs ~emit b wl ~plans ~seeds in
-        if t.Cc.ct_skipped then
-          Printf.printf "%-10s skipped (backend lacks a required feature)\n"
-            wl.name
-        else begin
-          Printf.printf "%-10s %d plans x %d seeds | %s\n" wl.name plans seeds
-            (String.concat ", "
-               (List.map
-                  (fun (k, n) -> Printf.sprintf "%dx %s" n k)
-                  t.Cc.ct_classes));
-          if not (Cc.chaos_totals_ok t) then begin
-            failed := true;
-            List.iter
-              (fun (plan, seed, cls) ->
-                Printf.printf "           FAIL %s plan#%d seed=%d\n"
-                  (Cc.class_name cls) plan seed)
-              t.Cc.ct_failures
-          end
-        end)
-      (resolve_workloads workload);
+    with_fleet ~label:("chaos " ^ b.Bk.name) ~jobs ~total fleet
+      (fun prog ->
+        let telemetry = Option.map Tel.Progress.sink prog in
+        List.iter
+          (fun (wl : Wl.t) ->
+            Option.iter
+              (fun p ->
+                Tel.Progress.phase p wl.Wl.name
+                  ~cells:(if Bk.supports b wl then plans * seeds else 0))
+              prog;
+            let t = Cc.chaos_stream ?telemetry ~jobs ~emit b wl ~plans ~seeds in
+            if t.Cc.ct_skipped then
+              Printf.printf
+                "%-10s skipped (backend lacks a required feature)\n" wl.name
+            else begin
+              Printf.printf "%-10s %d plans x %d seeds | %s\n" wl.name plans
+                seeds
+                (String.concat ", "
+                   (List.map
+                      (fun (k, n) -> Printf.sprintf "%dx %s" n k)
+                      t.Cc.ct_classes));
+              if not (Cc.chaos_totals_ok t) then begin
+                failed := true;
+                List.iter
+                  (fun (plan, seed, cls) ->
+                    Printf.printf "           FAIL %s plan#%d seed=%d\n"
+                      (Cc.class_name cls) plan seed)
+                  t.Cc.ct_failures
+              end
+            end)
+          wls);
     finish ();
     if !failed then begin
       Printf.printf
@@ -597,7 +742,9 @@ let chaos_cmd =
           fault — never a silent hang or a spec violation (non-zero exit \
           otherwise).  Equal (backend, workload, plan, seed) produce \
           byte-identical reports")
-    Term.(const run $ backend $ workload $ plans $ seeds $ out $ jobs_arg)
+    Term.(
+      const run $ backend $ workload $ plans $ seeds $ out_arg $ jobs_arg
+      $ fleet_term)
 
 (* ---- systematic schedule exploration: DPOR vs exhaustive DFS ---- *)
 
@@ -636,20 +783,7 @@ let explore_cmd =
              "With --mode=both: fail unless DPOR explores at least \
               $(docv)% fewer executions than DFS")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
-  in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the JSON report to $(docv) instead of stdout")
-  in
-  let run scenario mode max_runs split min_prune format out jobs =
+  let run scenario mode max_runs split min_prune format out jobs fleet =
     let jobs = resolve_jobs jobs in
     let scenarios =
       if scenario = "all" then Sc.all
@@ -678,14 +812,27 @@ let explore_cmd =
           "violations" ]
     in
     let records = ref [] in
+    with_fleet ~label:"explore" ~jobs ~total:0 fleet (fun prog ->
+    let telemetry = Option.map Tel.Progress.sink prog in
     List.iter
       (fun (s : Sc.t) ->
+        Option.iter (fun p -> Tel.Progress.phase p s.Sc.name ~cells:0) prog;
+        let progress =
+          Option.map
+            (fun p (st : Ex.dpor_stats) ->
+              Tel.Progress.explore_tick p ~scenario:s.Sc.name
+                ~executions:st.Ex.executions
+                ~sleep_blocked:st.Ex.sleep_blocked
+                ~peak_depth:st.Ex.peak_depth)
+            prog
+        in
         let dpor =
           if mode = `Dfs then None
           else
             Some
               (Ex.explore_dpor_parallel ~max_depth:s.Sc.max_depth ~max_runs
-                 ~split_branches:split ~jobs ~build:s.Sc.build s.Sc.check)
+                 ~split_branches:split ~jobs ?progress ?telemetry
+                 ~build:s.Sc.build s.Sc.check)
         in
         let dfs =
           if mode = `Dpor then None
@@ -761,6 +908,7 @@ let explore_cmd =
                 [ ("dpor_executions", Obs.Json.Int ds.Ex.executions);
                   ("dpor_sleep_blocked", Obs.Json.Int ds.Ex.sleep_blocked);
                   ("dpor_steps", Obs.Json.Int ds.Ex.dpor_steps);
+                  ("dpor_peak_depth", Obs.Json.Int ds.Ex.peak_depth);
                   ("dpor_complete", Obs.Json.Bool ds.Ex.complete) ]
               | None -> [])
             @ (match dfs with
@@ -775,7 +923,7 @@ let explore_cmd =
             | Some p -> [ ("prune_pct", Obs.Json.Float p) ]
             | None -> [])
           :: !records)
-      scenarios;
+      scenarios);
     (match format with
     | `Json ->
       write_out ~out
@@ -786,7 +934,7 @@ let explore_cmd =
                 ("split_branches", Obs.Json.Int split);
                 ("scenarios", Obs.Json.Arr (List.rev !records)) ])
         ^ "\n")
-    | `Table -> Threads_util.Table.print t);
+    | `Table -> write_out ~out (Threads_util.Table.render t));
     if !failed then exit 1
   in
   Cmd.v
@@ -802,8 +950,8 @@ let explore_cmd =
           exhaustive DFS and reports the pruning ratio; non-zero exit on \
           any mismatch with the scenario's pinned expectation")
     Term.(
-      const run $ scenario $ mode $ max_runs $ split $ min_prune $ format
-      $ out $ jobs_arg)
+      const run $ scenario $ mode $ max_runs $ split $ min_prune $ format_arg
+      $ out_arg $ jobs_arg $ fleet_term)
 
 (* ---- dynamic race / lock-order analysis and the spec linter ---- *)
 
@@ -858,11 +1006,14 @@ let analyze_report_json name (r : An.report) extra findings =
     @ extra
     @ [ ("findings", Arr (List.map (fun s -> String s) findings)) ])
 
-let analyze_mutants filter seed ~jobs ~format ~out =
+let analyze_mutants filter seed ~jobs ~format ~out ~fleet =
   let scenarios = Array.of_list Mu.all in
   let reports =
-    Runner.Matrix.map ~jobs ~n:(Array.length scenarios) (fun i ->
-        An.of_machine (scenarios.(i).Mu.m_run ~seed))
+    with_fleet ~label:"analyze --mutants" ~jobs ~total:(Array.length scenarios)
+      fleet (fun prog ->
+        let telemetry = Option.map Tel.Progress.sink prog in
+        Runner.Matrix.map ?telemetry ~jobs ~n:(Array.length scenarios)
+          (fun i -> An.of_machine (scenarios.(i).Mu.m_run ~seed)))
   in
   let t =
     Threads_util.Table.create
@@ -927,7 +1078,7 @@ let analyze_mutants filter seed ~jobs ~format ~out =
     List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
     exit 1
 
-let analyze_backend filter backend workload seed ~jobs ~format ~out =
+let analyze_backend filter backend workload seed ~jobs ~format ~out ~fleet =
   let b =
     match Bk.find backend with
     | Some b -> b
@@ -941,9 +1092,12 @@ let analyze_backend filter backend workload seed ~jobs ~format ~out =
      rendering below stays sequential and deterministic. *)
   let wls = Array.of_list (resolve_workloads workload) in
   let analyses =
-    Runner.Matrix.map ~jobs ~n:(Array.length wls) (fun i ->
-        if Bk.supports b wls.(i) then Some (An.run_backend b ~seed wls.(i))
-        else None)
+    with_fleet ~label:("analyze " ^ b.Bk.name) ~jobs
+      ~total:(Array.length wls) fleet (fun prog ->
+        let telemetry = Option.map Tel.Progress.sink prog in
+        Runner.Matrix.map ?telemetry ~jobs ~n:(Array.length wls) (fun i ->
+            if Bk.supports b wls.(i) then Some (An.run_backend b ~seed wls.(i))
+            else None))
   in
   let t =
     Threads_util.Table.create
@@ -1040,20 +1194,8 @@ let analyze_cmd =
     Arg.(value & flag & info [ "lock-order" ]
            ~doc:"Report lock-order cycles only")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
-  in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the JSON report to $(docv) instead of stdout")
-  in
-  let run backend workload seed mutants races lock_order format out jobs =
+  let run backend workload seed mutants races lock_order format out jobs
+      fleet =
     setup ();
     let jobs = resolve_jobs jobs in
     let filter =
@@ -1062,8 +1204,8 @@ let analyze_cmd =
       | false, true -> Lock_order_only
       | _ -> All
     in
-    if mutants then analyze_mutants filter seed ~jobs ~format ~out
-    else analyze_backend filter backend workload seed ~jobs ~format ~out
+    if mutants then analyze_mutants filter seed ~jobs ~format ~out ~fleet
+    else analyze_backend filter backend workload seed ~jobs ~format ~out ~fleet
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -1077,7 +1219,7 @@ let analyze_cmd =
           $(b,--format=json --out=FILE) emits the report machine-readably")
     Term.(
       const run $ backend $ workload $ seed $ mutants $ races $ lock_order
-      $ format $ out $ jobs_arg)
+      $ format_arg $ out_arg $ jobs_arg $ fleet_term)
 
 (* ---- causal profiler ---- *)
 
@@ -1108,12 +1250,6 @@ let profile_cmd =
              folded stacks), $(b,chrome) (trace-event JSON with per-state \
              thread tracks and a critical-path track) or $(b,json) \
              (structured report)")
-  in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the output to $(docv) instead of stdout")
   in
   let run backend workload seed format out =
     let b =
@@ -1170,7 +1306,7 @@ let profile_cmd =
           forensics (deadlock cycles, threads still blocked at exit).  \
           Profiled runs are cycle- and schedule-identical to unprofiled \
           ones")
-    Term.(const run $ backend $ workload $ seed $ format $ out)
+    Term.(const run $ backend $ workload $ seed $ format $ out_arg)
 
 (* ---- static spec verifier ---- *)
 
@@ -1598,19 +1734,6 @@ let check_spec_cmd =
               an interrupt handler); their findings do not affect the exit \
               status")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"$(docv) is $(b,table) (human-readable) or $(b,json)")
-  in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the JSON report to $(docv) instead of stdout")
-  in
   let run file lint_only_flag mutants crosscheck demos format out =
     setup ();
     if mutants then check_spec_mutants ~format ~out
@@ -1641,7 +1764,7 @@ let check_spec_cmd =
           any error-level finding")
     Term.(
       const run $ file $ lint_only_flag $ mutants $ crosscheck $ demos
-      $ format $ out)
+      $ format_arg $ out_arg)
 
 (* Deprecated alias: lint-spec = check-spec --lint-only. *)
 let lint_spec_cmd =
@@ -1666,8 +1789,107 @@ let lint_spec_cmd =
           linting of an interface specification")
     Term.(const run $ file)
 
-let default =
-  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+(* ---- perf-trajectory regression gate ---- *)
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD"
+           ~doc:
+             "Baseline bench record: a $(b,results/BENCH.json)-shaped \
+              document, or a $(b,.jsonl) trajectory history (its last \
+              record is used)")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW"
+           ~doc:"Candidate bench record (same shapes as $(b,OLD))")
+  in
+  let gate =
+    Arg.(value & opt float 0. & info [ "gate" ] ~docv:"PCT"
+           ~doc:
+             "Hard gate on the deterministic metrics (per-arm sim_cycles \
+              and DPOR executions): any increase beyond $(docv) percent \
+              fails the diff.  Default 0 — deterministic costs may never \
+              silently grow")
+  in
+  let host_gate =
+    Arg.(value & opt float 25. & info [ "host-gate" ] ~docv:"PCT"
+           ~doc:
+             "Advisory threshold for host wall-clock drift; host timing \
+              is machine noise and never fails the diff")
+  in
+  let run old_file new_file gate host_gate format out =
+    let load path =
+      try Tel.Bench_diff.load_file path with
+      | Sys_error e ->
+        Printf.eprintf "cannot read %s: %s\n" path e;
+        exit 1
+      | Obs.Json.Parse_error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 1
+    in
+    let old_ = load old_file and new_ = load new_file in
+    let r = Tel.Bench_diff.compare_json ~gate ~host_gate ~old_ ~new_ () in
+    (match format with
+    | `Table -> write_out ~out (Tel.Bench_diff.render r)
+    | `Json ->
+      write_out ~out
+        (Obs.Json.to_string (Tel.Bench_diff.to_json r) ^ "\n"));
+    if not (Tel.Bench_diff.ok r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench result records (or trajectory histories) and \
+          gate performance regressions.  Deterministic metrics — per-arm \
+          simulated cycles and the DPOR execution counts — fail the diff \
+          when they grow beyond $(b,--gate) percent; host wall-clock is \
+          reported as an advisory only.  Non-zero exit on any \
+          deterministic regression")
+    Term.(
+      const run $ old_file $ new_file $ gate $ host_gate $ format_arg
+      $ out_arg)
+
+(* ---- subcommand map (bare `repro` and `repro help`) ---- *)
+
+let command_summaries =
+  [ ("list", "list the experiments and the claims they reproduce");
+    ("run", "run one or more experiments by id (e.g. run E1 E7)");
+    ("all", "run every experiment");
+    ("spec", "print a specification variant in the concrete syntax");
+    ("trace", "run a demo workload and print / export its linearized trace");
+    ("metrics", "run the demo workload and print the observability report");
+    ("conform", "replay a backend's trace against the formal spec");
+    ("diff", "run all backends side by side and compare verdicts");
+    ("chaos", "deterministic fault-plan sweeps with spec conformance");
+    ("explore", "DPOR schedule exploration of the small scenarios");
+    ("analyze", "dynamic race and lock-order analysis (or --mutants)");
+    ("profile", "causal profiler: critical path, blockers, wait forensics");
+    ("check-spec", "static spec verifier: lint + abstract model check");
+    ("lint-spec", "deprecated alias for check-spec --lint-only");
+    ("bench-diff", "compare two bench records and gate perf regressions");
+    ("help", "print this subcommand summary") ]
+
+let print_command_summaries () =
+  print_string
+    "repro — Birrell/Guttag/Horning/Levin synchronization primitives, \
+     reproduced\n\nCommands:\n";
+  let w =
+    List.fold_left (fun a (n, _) -> max a (String.length n)) 0
+      command_summaries
+  in
+  List.iter
+    (fun (n, s) -> Printf.printf "  %-*s  %s\n" w n s)
+    command_summaries;
+  print_string
+    "\nRun 'repro COMMAND --help' for flags; matrix commands take --jobs, \
+     --progress, --fleet and --fleet-trace.\n"
+
+let help_cmd =
+  Cmd.v
+    (Cmd.info "help" ~doc:"Print a one-line summary of every subcommand")
+    Term.(const print_command_summaries $ const ())
+
+let default = Term.(const print_command_summaries $ const ())
 
 let () =
   let info =
@@ -1682,4 +1904,5 @@ let () =
        (Cmd.group ~default info
           [ list_cmd; run_cmd; all_cmd; spec_cmd; trace_cmd; metrics_cmd;
             conform_cmd; diff_cmd; chaos_cmd; explore_cmd; analyze_cmd;
-            profile_cmd; check_spec_cmd; lint_spec_cmd ]))
+            profile_cmd; check_spec_cmd; lint_spec_cmd; bench_diff_cmd;
+            help_cmd ]))

@@ -27,13 +27,14 @@ let conform_cell (backend : Backend.t) (workload : Workload.t) seed =
    per cell — so [Matrix.map] may execute them on any domain in any
    order.  Results come back in index order, keeping reports
    byte-identical whatever [jobs] is. *)
-let conform ?(jobs = 1) (backend : Backend.t) (workload : Workload.t) ~seeds =
+let conform ?telemetry ?(jobs = 1) (backend : Backend.t) (workload : Workload.t)
+    ~seeds =
   if not (Backend.supports backend workload) then
     { backend; workload; skipped = true; runs = [] }
   else
     let runs =
       Array.to_list
-        (Matrix.map ~jobs ~n:seeds (fun seed ->
+        (Matrix.map ?telemetry ~jobs ~n:seeds (fun seed ->
              conform_cell backend workload seed))
     in
     { backend; workload; skipped = false; runs }
@@ -89,7 +90,7 @@ let first_error s =
    work-stealing executor balances load across backends of very
    different costs, then regrouped into per-backend summaries in
    registration order. *)
-let diff ?(jobs = 1) (workload : Workload.t) ~seeds =
+let diff ?telemetry ?(jobs = 1) (workload : Workload.t) ~seeds =
   let supported =
     List.map (fun b -> (b, Backend.supports b workload)) Backend.all
   in
@@ -101,7 +102,7 @@ let diff ?(jobs = 1) (workload : Workload.t) ~seeds =
          supported)
   in
   let results =
-    Matrix.map ~jobs ~n:(Array.length cells) (fun i ->
+    Matrix.map ?telemetry ~jobs ~n:(Array.length cells) (fun i ->
         let b, seed = cells.(i) in
         conform_cell b workload seed)
   in
@@ -195,7 +196,8 @@ let chaos_cell backend workload ~seeds i =
   let plan = Plan.generate ~plan_id:(i / seeds) in
   chaos_one backend workload ~seed:(i mod seeds) plan
 
-let chaos ?(jobs = 1) (backend : Backend.t) (workload : Workload.t) ~plans
+let chaos ?telemetry ?(jobs = 1) (backend : Backend.t) (workload : Workload.t)
+    ~plans
     ~seeds =
   if backend.Backend.chaos = None || not (Backend.supports backend workload)
   then
@@ -204,7 +206,7 @@ let chaos ?(jobs = 1) (backend : Backend.t) (workload : Workload.t) ~plans
   else
     let runs =
       Array.to_list
-        (Matrix.map ~jobs ~n:(plans * seeds)
+        (Matrix.map ?telemetry ~jobs ~n:(plans * seeds)
            (fun i -> chaos_cell backend workload ~seeds i))
     in
     { cs_backend = backend; cs_workload = workload; cs_skipped = false;
@@ -305,7 +307,7 @@ let chaos_totals_ok t = (not t.ct_skipped) && t.ct_failures = []
    the bounded in-flight window of the executor plus the class counters,
    independent of the matrix size.  [emit] is called on the calling
    domain, in deterministic cell order, for any [jobs]. *)
-let chaos_stream ?(jobs = 1) ~emit (backend : Backend.t)
+let chaos_stream ?telemetry ?(jobs = 1) ~emit (backend : Backend.t)
     (workload : Workload.t) ~plans ~seeds =
   if backend.Backend.chaos = None || not (Backend.supports backend workload)
   then begin
@@ -328,7 +330,7 @@ let chaos_stream ?(jobs = 1) ~emit (backend : Backend.t)
         | Some c -> (key, c + 1) :: List.remove_assoc key !classes
         | None -> !classes @ [ (key, 1) ])
     in
-    Matrix.iter_ordered ~jobs ~n
+    Matrix.iter_ordered ?telemetry ~jobs ~n
       ~f:(fun i -> chaos_cell backend workload ~seeds i)
       ~consume:(fun i r ->
         emit (Format.asprintf "%a" (render_run backend.Backend.name) r);

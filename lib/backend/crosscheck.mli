@@ -26,8 +26,12 @@ type summary = {
     domains with the work-stealing executor; every cell is an isolated
     machine with its own per-seed RNG and domain-local probe slot, and
     results keep index order, so the summary is identical for any
-    [jobs]. *)
-val conform : ?jobs:int -> Backend.t -> Workload.t -> seeds:int -> summary
+    [jobs].  [?telemetry] attaches a host-side observation sink to the
+    seed matrix (see {!Threads_runner.Telemetry}); it never changes the
+    summary. *)
+val conform :
+  ?telemetry:Threads_runner.Telemetry.sink -> ?jobs:int -> Backend.t ->
+  Workload.t -> seeds:int -> summary
 
 (** Aggregates over a summary's runs. *)
 
@@ -49,7 +53,9 @@ val first_error : summary -> string option
 
 (** [diff ?jobs w ~seeds] — [conform] on every registered backend; the
     whole backend x seed matrix is one work-stealing pool. *)
-val diff : ?jobs:int -> Workload.t -> seeds:int -> summary list
+val diff :
+  ?telemetry:Threads_runner.Telemetry.sink -> ?jobs:int -> Workload.t ->
+  seeds:int -> summary list
 
 (** {1 Chaos conformance}
 
@@ -97,8 +103,8 @@ val chaos_one :
 (** [chaos ?jobs b w ~plans ~seeds] — plans [0..plans-1] x seeds
     [0..seeds-1], parallelized like {!conform}. *)
 val chaos :
-  ?jobs:int -> Backend.t -> Workload.t -> plans:int -> seeds:int ->
-  chaos_summary
+  ?telemetry:Threads_runner.Telemetry.sink -> ?jobs:int -> Backend.t ->
+  Workload.t -> plans:int -> seeds:int -> chaos_summary
 
 (** Every run classified [Conformant] or [Diagnosed]. *)
 val chaos_ok : chaos_summary -> bool
@@ -137,6 +143,7 @@ val chaos_totals_ok : chaos_totals -> bool
     receives the report in deterministic chunks (called on the calling
     domain, in cell order, for any [jobs]). *)
 val chaos_stream :
+  ?telemetry:Threads_runner.Telemetry.sink ->
   ?jobs:int ->
   emit:(string -> unit) ->
   Backend.t ->

@@ -144,12 +144,13 @@ type dpor_stats = {
   sleep_blocked : int;  (** branches pruned by sleep sets *)
   dpor_truncated : int;  (** executions cut off by the depth bound *)
   dpor_steps : int;  (** instructions executed across all replays *)
+  peak_depth : int;  (** deepest exploration path reached *)
   complete : bool;  (** false iff the [max_runs] budget was exhausted *)
 }
 
 let dpor_stats_zero =
   { executions = 0; sleep_blocked = 0; dpor_truncated = 0; dpor_steps = 0;
-    complete = true }
+    peak_depth = 0; complete = true }
 
 let dpor_stats_add a b =
   {
@@ -157,6 +158,7 @@ let dpor_stats_add a b =
     sleep_blocked = a.sleep_blocked + b.sleep_blocked;
     dpor_truncated = a.dpor_truncated + b.dpor_truncated;
     dpor_steps = a.dpor_steps + b.dpor_steps;
+    peak_depth = max a.peak_depth b.peak_depth;
     complete = a.complete && b.complete;
   }
 
@@ -175,7 +177,7 @@ type dnode = {
 }
 
 let explore_dpor ?(max_depth = 4000) ?(max_runs = 1_000_000)
-    ?(prefix = []) ~build check =
+    ?(prefix = []) ?progress ~build check =
   let frozen = List.length prefix in
   let prefix = Array.of_list prefix in
   (* Deepest node first; the path persists across replays. *)
@@ -184,6 +186,7 @@ let explore_dpor ?(max_depth = 4000) ?(max_runs = 1_000_000)
   let violations = ref [] in
   let executions = ref 0 and sleep_blocked = ref 0 in
   let truncated = ref 0 and steps = ref 0 in
+  let peak = ref 0 in
   let record = function
     | Some v -> if not (List.mem v !violations) then violations := v :: !violations
     | None -> ()
@@ -363,6 +366,17 @@ let explore_dpor ?(max_depth = 4000) ?(max_runs = 1_000_000)
     end
     else begin
       run_one ();
+      if !plen > !peak then peak := !plen;
+      (* Host-side observation only: the snapshot is advisory (the
+         caller throttles/renders it) and feeds nothing back into the
+         search, so instrumented explorations are schedule-identical. *)
+      (match progress with
+      | Some cb ->
+        cb
+          { executions = !executions; sleep_blocked = !sleep_blocked;
+            dpor_truncated = !truncated; dpor_steps = !steps;
+            peak_depth = !peak; complete = true }
+      | None -> ());
       analyze ();
       continue_ := backtrack ()
     end
@@ -370,7 +384,7 @@ let explore_dpor ?(max_depth = 4000) ?(max_runs = 1_000_000)
   ( List.sort_uniq String.compare !violations,
     { executions = !executions; sleep_blocked = !sleep_blocked;
       dpor_truncated = !truncated; dpor_steps = !steps;
-      complete = !budget_ok } )
+      peak_depth = !peak; complete = !budget_ok } )
 
 (* ---- prefix-parallel frontier splitting ----
 
@@ -385,7 +399,7 @@ let explore_dpor ?(max_depth = 4000) ?(max_runs = 1_000_000)
    many domains execute the per-prefix searches. *)
 
 let explore_dpor_parallel ?(max_depth = 4000) ?(max_runs = 1_000_000)
-    ?(split_branches = 2) ?(jobs = 1) ~build check =
+    ?(split_branches = 2) ?(jobs = 1) ?progress ?telemetry ~build check =
   let pre_violations = ref [] in
   let pre = ref dpor_stats_zero in
   let record = function
@@ -421,9 +435,46 @@ let explore_dpor_parallel ?(max_depth = 4000) ?(max_runs = 1_000_000)
         !frontier
   done;
   let prefixes = Array.of_list !frontier in
+  let pre_stats_base = !pre in
+  (* Aggregate progress across the per-prefix searches: each search
+     reports cumulative counters for its own subtree, so every cell
+     keeps a last-seen snapshot and publishes only the delta into the
+     shared atomics before invoking the caller's callback with the
+     fleet-wide view.  Purely observational — the counters never feed
+     back into any search. *)
+  let agg_exec = Atomic.make pre_stats_base.executions
+  and agg_sleep = Atomic.make pre_stats_base.sleep_blocked
+  and agg_steps = Atomic.make pre_stats_base.dpor_steps
+  and agg_peak = Atomic.make 0 in
+  let rec atomic_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+  in
+  let progress_for () =
+    match progress with
+    | None -> None
+    | Some cb ->
+      let prev = ref dpor_stats_zero in
+      Some
+        (fun (st : dpor_stats) ->
+          let de = st.executions - !prev.executions
+          and ds = st.sleep_blocked - !prev.sleep_blocked
+          and dp = st.dpor_steps - !prev.dpor_steps in
+          prev := st;
+          let e = Atomic.fetch_and_add agg_exec de + de in
+          let s = Atomic.fetch_and_add agg_sleep ds + ds in
+          let p = Atomic.fetch_and_add agg_steps dp + dp in
+          atomic_max agg_peak st.peak_depth;
+          cb
+            { executions = e; sleep_blocked = s; dpor_truncated = 0;
+              dpor_steps = p; peak_depth = Atomic.get agg_peak;
+              complete = true })
+  in
   let results =
-    Threads_runner.Matrix.map ~jobs ~n:(Array.length prefixes) (fun i ->
-        explore_dpor ~max_depth ~max_runs ~prefix:prefixes.(i) ~build check)
+    Threads_runner.Matrix.map ?telemetry ~jobs ~n:(Array.length prefixes)
+      (fun i ->
+        explore_dpor ~max_depth ~max_runs ~prefix:prefixes.(i)
+          ?progress:(progress_for ()) ~build check)
   in
   let violations, stats =
     Array.fold_left

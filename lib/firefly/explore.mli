@@ -52,6 +52,7 @@ type dpor_stats = {
   sleep_blocked : int;  (** branches pruned by sleep sets *)
   dpor_truncated : int;  (** executions cut off by the depth bound *)
   dpor_steps : int;  (** instructions executed across all replays *)
+  peak_depth : int;  (** deepest exploration path reached (deterministic) *)
   complete : bool;  (** false iff the [max_runs] budget was exhausted *)
 }
 
@@ -71,11 +72,18 @@ val dpor_stats_add : dpor_stats -> dpor_stats -> dpor_stats
     [check] should therefore return a canonical description free of
     schedule-dependent detail.  [prefix] freezes the first steps of every
     execution (used by {!explore_dpor_parallel}); backtrack points inside
-    the frozen region are discarded. *)
+    the frozen region are discarded.
+
+    [?progress] is a host-side observation hook called after every
+    maximal execution with the cumulative statistics so far (including
+    the peak path depth).  It feeds nothing back into the search —
+    instrumented explorations are schedule-identical — and the caller
+    is expected to throttle it (see [Threads_telemetry.Progress]). *)
 val explore_dpor :
   ?max_depth:int ->
   ?max_runs:int ->
   ?prefix:Threads_util.Tid.t list ->
+  ?progress:(dpor_stats -> unit) ->
   build:(Machine.t -> unit) ->
   (outcome -> string option) ->
   string list * dpor_stats
@@ -86,12 +94,20 @@ val explore_dpor :
     distributed over [jobs] domains by the work-stealing run-matrix
     executor.  The split happens regardless of [jobs], so the returned
     violation set and statistics are byte-identical for any worker count.
-    Each per-prefix search gets its own [max_runs] budget. *)
+    Each per-prefix search gets its own [max_runs] budget.
+
+    [?progress] receives advisory fleet-wide cumulative counters
+    (aggregated across the concurrent per-prefix searches; the
+    [dpor_truncated] field of snapshots is not aggregated and reads 0).
+    [?telemetry] attaches a {!Threads_runner.Telemetry.sink} to the
+    prefix matrix.  Neither affects the returned results. *)
 val explore_dpor_parallel :
   ?max_depth:int ->
   ?max_runs:int ->
   ?split_branches:int ->
   ?jobs:int ->
+  ?progress:(dpor_stats -> unit) ->
+  ?telemetry:Threads_runner.Telemetry.sink ->
   build:(Machine.t -> unit) ->
   (outcome -> string option) ->
   string list * dpor_stats

@@ -13,6 +13,33 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 let resolve_jobs j = if j <= 0 then recommended_jobs () else j
 
+(* Host-side observation points.  The runner stays clock-free and
+   dependency-free: callbacks fire at the named events and the sink (see
+   lib/telemetry) takes its own timestamps.  Callbacks run on the worker
+   domain that hit the event, concurrently with other workers' callbacks
+   — a sink must confine per-worker mutable state to the worker index or
+   use atomics. *)
+module Telemetry = struct
+  type sink = {
+    cell_start : worker:int -> cell:int -> unit;
+    cell_done : worker:int -> cell:int -> unit;
+    steal : worker:int -> victim:int -> cells:int -> unit;
+    steal_fail : worker:int -> unit;
+    idle_spin : worker:int -> unit;
+    in_flight : count:int -> unit;
+  }
+
+  let null =
+    {
+      cell_start = (fun ~worker:_ ~cell:_ -> ());
+      cell_done = (fun ~worker:_ ~cell:_ -> ());
+      steal = (fun ~worker:_ ~victim:_ ~cells:_ -> ());
+      steal_fail = (fun ~worker:_ -> ());
+      idle_spin = (fun ~worker:_ -> ());
+      in_flight = (fun ~count:_ -> ());
+    }
+end
+
 (* (next, limit) packed as next lsl 31 lor limit; both < 2^31. *)
 module Block = struct
   let half_bits = 31
@@ -57,7 +84,8 @@ let partition ~n ~w =
    safe even if another worker still holds unexecuted stolen indices,
    because those live in that worker's own published block and it drains
    them itself. *)
-let worker_loop blocks ~me ~execute ~stop =
+let worker_loop ?telemetry blocks ~me ~execute ~stop =
+  let ev f = match telemetry with Some s -> f s | None -> () in
   let w = Array.length blocks in
   let rec drain_own () =
     if not (Atomic.get stop) then
@@ -71,9 +99,12 @@ let worker_loop blocks ~me ~execute ~stop =
       let victim = (me + 1 + tried) mod w in
       match Block.steal blocks.(victim) with
       | Some (lo, hi) ->
+        ev (fun s -> s.Telemetry.steal ~worker:me ~victim ~cells:(hi - lo));
         Atomic.set blocks.(me) (Block.pack ~next:lo ~limit:hi);
         drain_own ()
-      | None -> hunt (tried + 1)
+      | None ->
+        ev (fun s -> s.Telemetry.steal_fail ~worker:me);
+        hunt (tried + 1)
   in
   drain_own ()
 
@@ -83,17 +114,34 @@ let run_cell f idx =
   | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
 
 module Matrix = struct
-  let map ?(jobs = 1) ~n f =
+  let map ?telemetry ?(jobs = 1) ~n f =
+    let ev g = match telemetry with Some s -> g s | None -> () in
     if n = 0 then [||]
     else
       let jobs = max 1 (min jobs n) in
-      if jobs = 1 then Array.init n f
+      if jobs = 1 then
+        match telemetry with
+        | None -> Array.init n f
+        | Some s ->
+          (* Same evaluation order and values as the bare sequential
+             path; only the observation callbacks are added. *)
+          Array.init n (fun i ->
+              s.Telemetry.cell_start ~worker:0 ~cell:i;
+              let v = f i in
+              s.Telemetry.cell_done ~worker:0 ~cell:i;
+              v)
       else begin
         let results = Array.init n (fun _ -> Atomic.make None) in
         let stop = Atomic.make false (* never set: all cells run *) in
         let blocks = partition ~n ~w:jobs in
-        let execute idx = Atomic.set results.(idx) (Some (run_cell f idx)) in
-        let body me () = worker_loop blocks ~me ~execute ~stop in
+        let execute me idx =
+          ev (fun s -> s.Telemetry.cell_start ~worker:me ~cell:idx);
+          Atomic.set results.(idx) (Some (run_cell f idx));
+          ev (fun s -> s.Telemetry.cell_done ~worker:me ~cell:idx)
+        in
+        let body me () =
+          worker_loop ?telemetry blocks ~me ~execute:(execute me) ~stop
+        in
         let domains =
           Array.init (jobs - 1) (fun i -> Domain.spawn (body (i + 1)))
         in
@@ -118,30 +166,44 @@ module Matrix = struct
      consumed before [idx] is produced into it. *)
   let window = 256
 
-  let iter_ordered ?(jobs = 1) ~n ~f ~consume () =
+  let iter_ordered ?telemetry ?(jobs = 1) ~n ~f ~consume () =
+    let ev g = match telemetry with Some s -> g s | None -> () in
     if n > 0 then begin
       let jobs = max 1 (min jobs n) in
       if jobs = 1 then
         for i = 0 to n - 1 do
-          consume i (f i)
+          ev (fun s -> s.Telemetry.cell_start ~worker:0 ~cell:i);
+          let v = f i in
+          ev (fun s -> s.Telemetry.cell_done ~worker:0 ~cell:i);
+          ev (fun s -> s.Telemetry.in_flight ~count:1);
+          consume i v
         done
       else begin
         let ring = Array.init window (fun _ -> Atomic.make None) in
         let stop = Atomic.make false in
         let consumed = Atomic.make 0 in
         let blocks = partition ~n ~w:jobs in
-        let execute idx =
+        let execute me idx =
           while
             idx - Atomic.get consumed >= window && not (Atomic.get stop)
           do
             (* The consumer runs on the caller's domain, so a spinning
                producer always gets out of the way eventually. *)
+            ev (fun s -> s.Telemetry.idle_spin ~worker:me);
             Domain.cpu_relax ()
           done;
-          if not (Atomic.get stop) then
-            Atomic.set ring.(idx mod window) (Some (idx, run_cell f idx))
+          if not (Atomic.get stop) then begin
+            ev (fun s -> s.Telemetry.cell_start ~worker:me ~cell:idx);
+            let r = run_cell f idx in
+            ev (fun s -> s.Telemetry.cell_done ~worker:me ~cell:idx);
+            Atomic.set ring.(idx mod window) (Some (idx, r));
+            ev (fun s ->
+                s.Telemetry.in_flight ~count:(idx + 1 - Atomic.get consumed))
+          end
         in
-        let body me () = worker_loop blocks ~me ~execute ~stop in
+        let body me () =
+          worker_loop ?telemetry blocks ~me ~execute:(execute me) ~stop
+        in
         let domains = Array.init jobs (fun i -> Domain.spawn (body i)) in
         let failure = ref None in
         let next = ref 0 in

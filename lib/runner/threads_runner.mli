@@ -21,6 +21,36 @@ val recommended_jobs : unit -> int
     [j <= 0] means "auto" ({!recommended_jobs}), otherwise [j]. *)
 val resolve_jobs : int -> int
 
+(** Host-side observation points for the executor.
+
+    The runner itself stays clock-free: it only announces events
+    (cell started, cell finished, block stolen, …) and a sink — see
+    [lib/telemetry] — timestamps and aggregates them.  Observation is
+    strictly host-side: a sink never changes which cells run, in what
+    order results are keyed, or anything the simulated machines can
+    see, so instrumented runs produce byte-identical reports. *)
+module Telemetry : sig
+  type sink = {
+    cell_start : worker:int -> cell:int -> unit;
+        (** Worker [worker] begins executing cell [cell]. *)
+    cell_done : worker:int -> cell:int -> unit;
+        (** Worker [worker] finished cell [cell] (Ok or Error alike). *)
+    steal : worker:int -> victim:int -> cells:int -> unit;
+        (** Worker won [cells] indices from [victim]'s block. *)
+    steal_fail : worker:int -> unit;
+        (** A steal attempt found nothing worth taking. *)
+    idle_spin : worker:int -> unit;
+        (** One producer throttle spin in {!Matrix.iter_ordered} (the
+            in-flight window is full). *)
+    in_flight : count:int -> unit;
+        (** Produced-but-unconsumed results after a production, for the
+            window high-water mark. *)
+  }
+
+  (** A sink that ignores every event. *)
+  val null : sink
+end
+
 module Matrix : sig
   (** [map ~jobs ~n f] computes [|f 0; ...; f (n-1)|].
 
@@ -33,8 +63,14 @@ module Matrix : sig
 
       If any cell raises, the exception of the lowest-indexed failing
       cell is re-raised on the caller (after all workers stop), keeping
-      failure reports deterministic too. *)
-  val map : ?jobs:int -> n:int -> (int -> 'a) -> 'a array
+      failure reports deterministic too.
+
+      [?telemetry] attaches a host-side observation sink (defaults to
+      none, at zero cost); the result array is identical with or
+      without it, at any [jobs]. *)
+  val map :
+    ?telemetry:Telemetry.sink -> ?jobs:int -> n:int -> (int -> 'a) ->
+    'a array
 
   (** [iter_ordered ~jobs ~n ~f ~consume ()] computes [f i] for every
       cell and calls [consume i (f i)] for [i = 0, 1, ..., n-1] {e in
@@ -48,6 +84,6 @@ module Matrix : sig
       classification line eagerly, consume it into the report, and let
       the machine behind it be collected. *)
   val iter_ordered :
-    ?jobs:int -> n:int -> f:(int -> 'a) -> consume:(int -> 'a -> unit) ->
-    unit -> unit
+    ?telemetry:Telemetry.sink -> ?jobs:int -> n:int -> f:(int -> 'a) ->
+    consume:(int -> 'a -> unit) -> unit -> unit
 end

@@ -1,0 +1,328 @@
+(* Noise-aware comparison of two bench result records.
+
+   The perf trajectory splits metrics by trustworthiness:
+
+   - [sim_cycles] per arm and the DPOR execution counts are fully
+     deterministic (simulated clock, seeded schedules) — any increase
+     beyond [gate] percent is a hard regression.
+   - [host_us_per_run] is wall-clock on whatever machine ran the bench —
+     never gated, only surfaced as an advisory when it moves more than
+     [host_gate] percent.
+
+   Inputs are Obs.Json values in the results/BENCH.json shape (schema 1
+   or 2); [load_file] also accepts an append-only .jsonl history, taking
+   its last record. *)
+
+type status = Regression | Improvement | Within | Added | Removed
+
+let status_name = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improved"
+  | Within -> "ok"
+  | Added -> "added"
+  | Removed -> "removed"
+
+type arm = {
+  a_name : string;
+  a_old_cycles : int option;
+  a_new_cycles : int option;
+  a_cycles_pct : float option;
+  a_status : status;
+  a_old_us : float option;
+  a_new_us : float option;
+  a_us_pct : float option;
+  a_us_advisory : bool;
+}
+
+type report = {
+  d_gate : float;
+  d_host_gate : float;
+  d_arms : arm list;
+  d_regressions : string list;
+  d_advisories : string list;
+}
+
+let ok r = r.d_regressions = []
+
+(* ---- JSON access helpers ---- *)
+
+let str = function Obs.Json.String s -> Some s | _ -> None
+
+let num = function
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | Obs.Json.Float f -> Some f
+  | _ -> None
+
+let int_opt = function
+  | Obs.Json.Int i -> Some i
+  | Obs.Json.Float f -> Some (int_of_float f)
+  | _ -> None
+
+let field j k = Option.value (Obs.Json.find j k) ~default:Obs.Json.Null
+
+let arms_of j =
+  match field j "benchmarks" with
+  | Obs.Json.Arr rows ->
+    List.filter_map
+      (fun row ->
+        match str (field row "name") with
+        | None -> None
+        | Some name ->
+          Some
+            ( name,
+              int_opt (field row "sim_cycles"),
+              num (field row "host_us_per_run") ))
+      rows
+  | _ -> []
+
+let pct ~old_ ~new_ =
+  if old_ = 0. then if new_ = 0. then 0. else infinity
+  else (new_ -. old_) /. old_ *. 100.
+
+(* ---- comparison ---- *)
+
+let compare_arm ~gate ~host_gate name (oc, ou) (nc, nu) =
+  let cycles_pct =
+    match (oc, nc) with
+    | Some o, Some n -> Some (pct ~old_:(float_of_int o) ~new_:(float_of_int n))
+    | _ -> None
+  in
+  let status =
+    match (oc, nc, cycles_pct) with
+    | Some o, Some n, Some p ->
+      if n > o && p > gate then Regression
+      else if n < o then Improvement
+      else Within
+    | _ -> Within
+  in
+  let us_pct =
+    match (ou, nu) with
+    | Some o, Some n when o > 0. -> Some (pct ~old_:o ~new_:n)
+    | _ -> None
+  in
+  let advisory =
+    match us_pct with Some p -> Float.abs p > host_gate | None -> false
+  in
+  {
+    a_name = name;
+    a_old_cycles = oc;
+    a_new_cycles = nc;
+    a_cycles_pct = cycles_pct;
+    a_status = status;
+    a_old_us = ou;
+    a_new_us = nu;
+    a_us_pct = us_pct;
+    a_us_advisory = advisory;
+  }
+
+let compare_json ?(gate = 0.) ?(host_gate = 25.) ~old_ ~new_ () =
+  let old_arms = arms_of old_ and new_arms = arms_of new_ in
+  let lookup arms name =
+    List.find_map
+      (fun (n, c, u) -> if n = name then Some (c, u) else None)
+      arms
+  in
+  (* Old order first (matched and removed arms), then new-only arms —
+     deterministic whatever the input ordering. *)
+  let arms =
+    List.map
+      (fun (name, oc, ou) ->
+        match lookup new_arms name with
+        | Some (nc, nu) -> compare_arm ~gate ~host_gate name (oc, ou) (nc, nu)
+        | None ->
+          {
+            a_name = name;
+            a_old_cycles = oc;
+            a_new_cycles = None;
+            a_cycles_pct = None;
+            a_status = Removed;
+            a_old_us = ou;
+            a_new_us = None;
+            a_us_pct = None;
+            a_us_advisory = false;
+          })
+      old_arms
+    @ List.filter_map
+        (fun (name, nc, nu) ->
+          match lookup old_arms name with
+          | Some _ -> None
+          | None ->
+            Some
+              {
+                a_name = name;
+                a_old_cycles = None;
+                a_new_cycles = nc;
+                a_cycles_pct = None;
+                a_status = Added;
+                a_old_us = None;
+                a_new_us = nu;
+                a_us_pct = None;
+                a_us_advisory = false;
+              })
+        new_arms
+  in
+  let regressions =
+    List.filter_map
+      (fun a ->
+        match (a.a_status, a.a_old_cycles, a.a_new_cycles) with
+        | Regression, Some o, Some n ->
+          Some
+            (Printf.sprintf "%s: sim_cycles %d -> %d (%+.2f%%, gate %.1f%%)"
+               a.a_name o n
+               (Option.value a.a_cycles_pct ~default:0.)
+               gate)
+        | _ -> None)
+      arms
+  in
+  (* DPOR block: executions are deterministic too, and the DFS/DPOR
+     violation-set agreement must never silently break. *)
+  let regressions =
+    let old_d = field old_ "dpor" and new_d = field new_ "dpor" in
+    let dpor_reg =
+      match
+        (int_opt (field old_d "dpor_executions"),
+         int_opt (field new_d "dpor_executions"))
+      with
+      | Some o, Some n
+        when n > o && pct ~old_:(float_of_int o) ~new_:(float_of_int n) > gate
+        ->
+        [
+          Printf.sprintf
+            "dpor: executions %d -> %d (%+.2f%%, gate %.1f%%)" o n
+            (pct ~old_:(float_of_int o) ~new_:(float_of_int n))
+            gate;
+        ]
+      | _ -> []
+    in
+    let agree_reg =
+      match field new_d "violations_agree" with
+      | Obs.Json.Bool false -> [ "dpor: violation sets no longer agree with DFS" ]
+      | _ -> []
+    in
+    regressions @ dpor_reg @ agree_reg
+  in
+  let advisories =
+    List.filter_map
+      (fun a ->
+        if a.a_us_advisory then
+          match (a.a_old_us, a.a_new_us, a.a_us_pct) with
+          | Some o, Some n, Some p ->
+            Some
+              (Printf.sprintf
+                 "%s: host %.2fus -> %.2fus (%+.1f%%; host timing is \
+                  advisory, not gated)"
+                 a.a_name o n p)
+          | _ -> None
+        else None)
+      arms
+  in
+  { d_gate = gate; d_host_gate = host_gate; d_arms = arms; d_regressions = regressions; d_advisories = advisories }
+
+(* ---- rendering ---- *)
+
+let render r =
+  let module Tb = Threads_util.Table in
+  let tb =
+    Tb.create
+      ~aligns:[ Tb.Left; Tb.Right; Tb.Right; Tb.Right; Tb.Left; Tb.Right ]
+      ~title:
+        (Printf.sprintf
+           "bench-diff: sim_cycles gated at +%.1f%%, host time advisory at \
+            ±%.0f%%"
+           r.d_gate r.d_host_gate)
+      [ "arm"; "cycles old"; "cycles new"; "Δcycles"; "status"; "Δhost" ]
+  in
+  let cyc = function Some c -> Tb.cell_int c | None -> "-" in
+  let p = function
+    | Some x when Float.is_finite x -> Printf.sprintf "%+.2f%%" x
+    | Some _ -> "+inf"
+    | None -> "-"
+  in
+  List.iter
+    (fun a ->
+      Tb.add_row tb
+        [
+          a.a_name;
+          cyc a.a_old_cycles;
+          cyc a.a_new_cycles;
+          p a.a_cycles_pct;
+          status_name a.a_status
+          ^ (if a.a_us_advisory then " (host drift)" else "");
+          p a.a_us_pct;
+        ])
+    r.d_arms;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Tb.render tb);
+  List.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf "REGRESSION: %s\n" m))
+    r.d_regressions;
+  List.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf "advisory: %s\n" m))
+    r.d_advisories;
+  Buffer.add_string buf
+    (if ok r then "bench-diff: OK — no deterministic regressions\n"
+     else
+       Printf.sprintf "bench-diff: FAIL — %d deterministic regression(s)\n"
+         (List.length r.d_regressions));
+  Buffer.contents buf
+
+let to_json r =
+  let fopt = function
+    | Some x when Float.is_finite x -> Obs.Json.Float x
+    | Some _ -> Obs.Json.String "inf"
+    | None -> Obs.Json.Null
+  in
+  let iopt = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null in
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ("gate_pct", Obs.Json.Float r.d_gate);
+      ("host_gate_pct", Obs.Json.Float r.d_host_gate);
+      ("ok", Obs.Json.Bool (ok r));
+      ( "arms",
+        Obs.Json.Arr
+          (List.map
+             (fun a ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String a.a_name);
+                   ("status", Obs.Json.String (status_name a.a_status));
+                   ("old_sim_cycles", iopt a.a_old_cycles);
+                   ("new_sim_cycles", iopt a.a_new_cycles);
+                   ("cycles_pct", fopt a.a_cycles_pct);
+                   ("old_host_us", fopt a.a_old_us);
+                   ("new_host_us", fopt a.a_new_us);
+                   ("host_pct", fopt a.a_us_pct);
+                   ("host_advisory", Obs.Json.Bool a.a_us_advisory);
+                 ])
+             r.d_arms) );
+      ( "regressions",
+        Obs.Json.Arr (List.map (fun s -> Obs.Json.String s) r.d_regressions)
+      );
+      ( "advisories",
+        Obs.Json.Arr (List.map (fun s -> Obs.Json.String s) r.d_advisories)
+      );
+    ]
+
+(* ---- loading ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A .jsonl history is append-only, newest last: compare against its
+   latest record.  Anything else is a single JSON document. *)
+let load_file path =
+  let s = read_file path in
+  if Filename.check_suffix path ".jsonl" then
+    let lines =
+      List.filter
+        (fun l -> String.trim l <> "")
+        (String.split_on_char '\n' s)
+    in
+    match List.rev lines with
+    | last :: _ -> Obs.Json.of_string last
+    | [] -> raise (Obs.Json.Parse_error (path ^ ": empty history"))
+  else Obs.Json.of_string s

@@ -1,0 +1,57 @@
+(** Noise-aware comparison of two bench result records (the perf
+    trajectory's regression gate).
+
+    Deterministic metrics — per-arm [sim_cycles] and the DPOR execution
+    counts — are gated hard: any increase beyond [gate] percent is a
+    regression and {!ok} turns false.  Host wall-clock ([host_us_per_run])
+    is machine noise by definition, so it is never gated, only reported
+    as an advisory when it drifts more than [host_gate] percent.  Arms
+    present on only one side are reported as added/removed, not failed. *)
+
+type status = Regression | Improvement | Within | Added | Removed
+
+val status_name : status -> string
+
+type arm = {
+  a_name : string;
+  a_old_cycles : int option;
+  a_new_cycles : int option;
+  a_cycles_pct : float option;
+  a_status : status;
+  a_old_us : float option;
+  a_new_us : float option;
+  a_us_pct : float option;
+  a_us_advisory : bool;
+}
+
+type report = {
+  d_gate : float;
+  d_host_gate : float;
+  d_arms : arm list;
+  d_regressions : string list;
+  d_advisories : string list;
+}
+
+(** No deterministic regressions (advisories don't count). *)
+val ok : report -> bool
+
+(** [compare_json ~old_ ~new_ ()] compares two records in the
+    [results/BENCH.json] shape (schema 1 or 2).  [gate] (percent,
+    default 0 — any deterministic increase fails) gates [sim_cycles]
+    and DPOR executions; [host_gate] (percent, default 25) is the
+    advisory threshold for host timing. *)
+val compare_json :
+  ?gate:float -> ?host_gate:float -> old_:Obs.Json.t -> new_:Obs.Json.t ->
+  unit -> report
+
+(** Fixed-width table plus regression/advisory lines and a final
+    OK/FAIL line.  Deterministic given the same inputs. *)
+val render : report -> string
+
+val to_json : report -> Obs.Json.t
+
+(** Load a bench record: a [.json] document, or the {e last} record of
+    an append-only [.jsonl] history.
+    @raise Obs.Json.Parse_error on malformed input or empty history
+    @raise Sys_error when unreadable *)
+val load_file : string -> Obs.Json.t

@@ -1,0 +1,335 @@
+(* Per-worker fleet statistics for the run-matrix executor.
+
+   A collector implements the Threads_runner.Telemetry.sink callbacks
+   and aggregates them host-side: per-worker counters plus coalesced
+   busy segments for the worker-occupancy timeline.  Everything here is
+   invisible to the simulated machines — the sink only observes the
+   executor, it never feeds anything back — so instrumented runs stay
+   cycle- and schedule-identical.
+
+   Concurrency: each worker's record is written only by that worker's
+   domain (the runner routes events by worker index); cross-worker
+   values (the in-flight high-water mark) are atomics.  Snapshots are
+   taken after the matrix has joined its workers, from one domain. *)
+
+module T = Threads_runner.Telemetry
+
+(* Beyond this many timeline segments per worker we keep counting cells
+   but stop recording new segments — bounds trace size on million-cell
+   matrices.  Adjacent cells closer than [seg_gap] seconds coalesce into
+   one segment, which is what keeps real traces far below the cap. *)
+let max_segments = 4096
+let seg_gap = 0.0005
+
+type worker = {
+  mutable w_cells : int;
+  mutable w_steals_won : int;
+  mutable w_stolen_cells : int;
+  mutable w_steals_failed : int;
+  mutable w_idle_spins : int;
+  mutable w_busy_s : float;
+  mutable w_max_cell_s : float;
+  mutable w_last_cell_s : float;
+  mutable w_cur_start : float;
+  mutable w_segments : (float * float) list; (* newest first, absolute *)
+  mutable w_nsegs : int;
+  mutable w_dropped_segs : int;
+}
+
+let fresh_worker () =
+  {
+    w_cells = 0;
+    w_steals_won = 0;
+    w_stolen_cells = 0;
+    w_steals_failed = 0;
+    w_idle_spins = 0;
+    w_busy_s = 0.;
+    w_max_cell_s = 0.;
+    w_last_cell_s = 0.;
+    w_cur_start = Float.nan;
+    w_segments = [];
+    w_nsegs = 0;
+    w_dropped_segs = 0;
+  }
+
+type t = {
+  label : string;
+  expected : int;
+  now : unit -> float;
+  t0 : float;
+  workers : worker array;
+  inflight_hw : int Atomic.t;
+}
+
+let create ?(label = "matrix") ?now ~jobs ~cells () =
+  let now = match now with Some f -> f | None -> Unix.gettimeofday in
+  {
+    label;
+    expected = cells;
+    now;
+    t0 = now ();
+    workers = Array.init (max 1 jobs) (fun _ -> fresh_worker ());
+    inflight_hw = Atomic.make 0;
+  }
+
+let jobs t = Array.length t.workers
+let label t = t.label
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let get t i = if i >= 0 && i < Array.length t.workers then Some t.workers.(i) else None
+let last_cell_s t ~worker = match get t worker with Some w -> w.w_last_cell_s | None -> 0.
+
+let sink t =
+  {
+    T.cell_start =
+      (fun ~worker ~cell:_ ->
+        match get t worker with
+        | None -> ()
+        | Some w -> w.w_cur_start <- t.now ());
+    cell_done =
+      (fun ~worker ~cell:_ ->
+        match get t worker with
+        | None -> ()
+        | Some w ->
+          let now = t.now () in
+          let d =
+            if Float.is_nan w.w_cur_start then 0. else now -. w.w_cur_start
+          in
+          let d = if d < 0. then 0. else d in
+          w.w_cells <- w.w_cells + 1;
+          w.w_busy_s <- w.w_busy_s +. d;
+          w.w_last_cell_s <- d;
+          if d > w.w_max_cell_s then w.w_max_cell_s <- d;
+          let start = now -. d in
+          (match w.w_segments with
+          | (s0, s1) :: rest when start -. s1 <= seg_gap ->
+            w.w_segments <- (s0, now) :: rest
+          | segs ->
+            if w.w_nsegs >= max_segments then
+              w.w_dropped_segs <- w.w_dropped_segs + 1
+            else begin
+              w.w_segments <- (start, now) :: segs;
+              w.w_nsegs <- w.w_nsegs + 1
+            end);
+          w.w_cur_start <- Float.nan);
+    steal =
+      (fun ~worker ~victim:_ ~cells ->
+        match get t worker with
+        | None -> ()
+        | Some w ->
+          w.w_steals_won <- w.w_steals_won + 1;
+          w.w_stolen_cells <- w.w_stolen_cells + cells);
+    steal_fail =
+      (fun ~worker ->
+        match get t worker with
+        | None -> ()
+        | Some w -> w.w_steals_failed <- w.w_steals_failed + 1);
+    idle_spin =
+      (fun ~worker ->
+        match get t worker with
+        | None -> ()
+        | Some w -> w.w_idle_spins <- w.w_idle_spins + 1);
+    in_flight = (fun ~count -> atomic_max t.inflight_hw count);
+  }
+
+type worker_stats = {
+  ws_id : int;
+  ws_cells : int;
+  ws_steals_won : int;
+  ws_stolen_cells : int;
+  ws_steals_failed : int;
+  ws_idle_spins : int;
+  ws_busy_s : float;
+  ws_max_cell_s : float;
+  ws_segments : (float * float) list; (* oldest first, relative to t0 *)
+  ws_dropped_segments : int;
+}
+
+type report = {
+  r_label : string;
+  r_jobs : int;
+  r_expected : int;
+  r_elapsed_s : float;
+  r_inflight_hw : int;
+  r_workers : worker_stats list;
+}
+
+let snapshot t =
+  let elapsed = t.now () -. t.t0 in
+  let workers =
+    Array.to_list
+      (Array.mapi
+         (fun i w ->
+           {
+             ws_id = i;
+             ws_cells = w.w_cells;
+             ws_steals_won = w.w_steals_won;
+             ws_stolen_cells = w.w_stolen_cells;
+             ws_steals_failed = w.w_steals_failed;
+             ws_idle_spins = w.w_idle_spins;
+             ws_busy_s = w.w_busy_s;
+             ws_max_cell_s = w.w_max_cell_s;
+             ws_segments =
+               List.rev_map
+                 (fun (s0, s1) -> (s0 -. t.t0, s1 -. t.t0))
+                 w.w_segments;
+             ws_dropped_segments = w.w_dropped_segs;
+           })
+         t.workers)
+  in
+  {
+    r_label = t.label;
+    r_jobs = Array.length t.workers;
+    r_expected = t.expected;
+    r_elapsed_s = elapsed;
+    r_inflight_hw = Atomic.get t.inflight_hw;
+    r_workers = workers;
+  }
+
+let total_cells r = List.fold_left (fun acc w -> acc + w.ws_cells) 0 r.r_workers
+
+let render r =
+  let module Tb = Threads_util.Table in
+  let tb =
+    Tb.create
+      ~title:
+        (Printf.sprintf
+           "fleet: %s — %d cells over %d workers in %.1f ms (in-flight \
+            high-water %d)"
+           r.r_label (total_cells r) r.r_jobs
+           (r.r_elapsed_s *. 1e3)
+           r.r_inflight_hw)
+      [
+        "worker"; "cells"; "steals"; "stolen"; "fails"; "idle"; "busy ms";
+        "util"; "max cell ms";
+      ]
+  in
+  let ms s = Tb.cell_float ~decimals:2 (s *. 1e3) in
+  let util busy =
+    if r.r_elapsed_s > 0. then Tb.cell_pct (busy /. r.r_elapsed_s)
+    else Tb.cell_pct 0.
+  in
+  List.iter
+    (fun w ->
+      Tb.add_row tb
+        [
+          Tb.cell_int w.ws_id;
+          Tb.cell_int w.ws_cells;
+          Tb.cell_int w.ws_steals_won;
+          Tb.cell_int w.ws_stolen_cells;
+          Tb.cell_int w.ws_steals_failed;
+          Tb.cell_int w.ws_idle_spins;
+          ms w.ws_busy_s;
+          util w.ws_busy_s;
+          ms w.ws_max_cell_s;
+        ])
+    r.r_workers;
+  Tb.add_rule tb;
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 r.r_workers in
+  let sumf f = List.fold_left (fun acc w -> acc +. f w) 0. r.r_workers in
+  let busy = sumf (fun w -> w.ws_busy_s) in
+  Tb.add_row tb
+    [
+      "all";
+      Tb.cell_int (total_cells r);
+      Tb.cell_int (sum (fun w -> w.ws_steals_won));
+      Tb.cell_int (sum (fun w -> w.ws_stolen_cells));
+      Tb.cell_int (sum (fun w -> w.ws_steals_failed));
+      Tb.cell_int (sum (fun w -> w.ws_idle_spins));
+      ms busy;
+      (* Aggregate utilization: busy time over worker-seconds. *)
+      (if r.r_elapsed_s > 0. then
+         Tb.cell_pct (busy /. (r.r_elapsed_s *. float_of_int r.r_jobs))
+       else Tb.cell_pct 0.);
+      ms (List.fold_left (fun acc w -> Float.max acc w.ws_max_cell_s) 0. r.r_workers);
+    ];
+  Tb.render tb
+
+let round3 x = Float.round (x *. 1e3) /. 1e3
+let round1 x = Float.round (x *. 10.) /. 10.
+
+let worker_to_json w =
+  Obs.Json.Obj
+    [
+      ("worker", Obs.Json.Int w.ws_id);
+      ("cells", Obs.Json.Int w.ws_cells);
+      ("steals_won", Obs.Json.Int w.ws_steals_won);
+      ("stolen_cells", Obs.Json.Int w.ws_stolen_cells);
+      ("steals_failed", Obs.Json.Int w.ws_steals_failed);
+      ("idle_spins", Obs.Json.Int w.ws_idle_spins);
+      ("busy_ms", Obs.Json.Float (round3 (w.ws_busy_s *. 1e3)));
+      ("max_cell_ms", Obs.Json.Float (round3 (w.ws_max_cell_s *. 1e3)));
+    ]
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.String r.r_label);
+      ("jobs", Obs.Json.Int r.r_jobs);
+      ("cells", Obs.Json.Int (total_cells r));
+      ("elapsed_ms", Obs.Json.Float (round3 (r.r_elapsed_s *. 1e3)));
+      ("inflight_high_water", Obs.Json.Int r.r_inflight_hw);
+      ("workers", Obs.Json.Arr (List.map worker_to_json r.r_workers));
+    ]
+
+(* Chrome trace-event worker-occupancy timeline: one track (tid) per
+   worker domain, one complete ("X") event per coalesced busy segment.
+   Times are microseconds relative to collector creation.  Built on
+   Obs.Json directly rather than Obs.Chrome_trace because the latter's
+   clock is simulated integer cycles; fleet occupancy is host
+   wall-clock. *)
+let chrome r =
+  let meta =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String "process_name");
+        ("ph", Obs.Json.String "M");
+        ("pid", Obs.Json.Int 1);
+        ( "args",
+          Obs.Json.Obj
+            [ ("name", Obs.Json.String ("fleet: " ^ r.r_label)) ] );
+      ]
+    :: List.map
+         (fun w ->
+           Obs.Json.Obj
+             [
+               ("name", Obs.Json.String "thread_name");
+               ("ph", Obs.Json.String "M");
+               ("pid", Obs.Json.Int 1);
+               ("tid", Obs.Json.Int w.ws_id);
+               ( "args",
+                 Obs.Json.Obj
+                   [
+                     ( "name",
+                       Obs.Json.String
+                         (Printf.sprintf "worker %d" w.ws_id) );
+                   ] );
+             ])
+         r.r_workers
+  in
+  let events =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun (s0, s1) ->
+            Obs.Json.Obj
+              [
+                ("name", Obs.Json.String "cells");
+                ("cat", Obs.Json.String "fleet");
+                ("ph", Obs.Json.String "X");
+                ("ts", Obs.Json.Float (round1 (s0 *. 1e6)));
+                ("dur", Obs.Json.Float (round1 ((s1 -. s0) *. 1e6)));
+                ("pid", Obs.Json.Int 1);
+                ("tid", Obs.Json.Int w.ws_id);
+              ])
+          w.ws_segments)
+      r.r_workers
+  in
+  Obs.Json.Obj
+    [
+      ("traceEvents", Obs.Json.Arr (meta @ events));
+      ("displayTimeUnit", Obs.Json.String "ms");
+    ]

@@ -44,4 +44,5 @@ let () =
       Test_staticcheck.suite;
       Test_profile.suite;
       Test_runner.suite;
+      Test_telemetry.suite;
     ]

@@ -204,6 +204,51 @@ let test_chaos_stream_parity () =
         (chaos_report ~jobs b wl ~plans:3 ~seeds:2 = reference))
     [ 2; 4; 8 ]
 
+(* ---- telemetry determinism: observed matrices report identically ---- *)
+
+(* The observatory contract: attaching a fleet/progress sink must leave
+   every report byte-identical, and the deterministic telemetry totals
+   (cells executed) must equal the matrix size at any worker count. *)
+let test_telemetry_reports_identical () =
+  let module Tel = Threads_telemetry in
+  let b = Option.get (Bk.find "uniproc") in
+  let wl = Option.get (Wl.find "condvar") in
+  let bare = summary_fingerprint (Cc.conform ~jobs:1 b wl ~seeds:6) in
+  let chaos_bare = chaos_report ~jobs:1 b wl ~plans:3 ~seeds:2 in
+  List.iter
+    (fun jobs ->
+      let p =
+        Tel.Progress.create
+          ~dest:(Tel.Progress.Custom ignore)
+          ~label:"test" ~total:6 ~jobs ()
+      in
+      let telemetry = Tel.Progress.sink p in
+      let observed =
+        summary_fingerprint (Cc.conform ~telemetry ~jobs b wl ~seeds:6)
+      in
+      Tel.Progress.finish p;
+      Alcotest.(check bool)
+        (Printf.sprintf "telemetered conform identical (jobs=%d)" jobs)
+        true (observed = bare);
+      Alcotest.(check int)
+        (Printf.sprintf "telemetry counted every seed (jobs=%d)" jobs)
+        6
+        (Tel.Fleet.total_cells (Tel.Progress.fleet_report p));
+      let fl = Tel.Fleet.create ~jobs ~cells:0 () in
+      let chaos_observed =
+        let buf = Buffer.create 4096 in
+        let t =
+          Cc.chaos_stream ~telemetry:(Tel.Fleet.sink fl) ~jobs
+            ~emit:(Buffer.add_string buf) b wl ~plans:3 ~seeds:2
+        in
+        (Buffer.contents buf, t.Cc.ct_classes, t.Cc.ct_failures)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "telemetered chaos bytes identical (jobs=%d)" jobs)
+        true
+        (chaos_observed = chaos_bare))
+    [ 1; 4; 8 ]
+
 (* The multicore package is one-per-process (global nub, alert tables,
    trace sink); its run entry points serialize on a package mutex so
    parallel matrix cells queue instead of corrupting each other.
@@ -328,6 +373,8 @@ let suite =
       Alcotest.test_case "diff jobs parity" `Quick test_diff_jobs_parity;
       Alcotest.test_case "chaos stream parity" `Quick
         test_chaos_stream_parity;
+      Alcotest.test_case "telemetered reports identical" `Quick
+        test_telemetry_reports_identical;
       Alcotest.test_case "multicore package serializes" `Quick
         test_multicore_package_serializes;
       Alcotest.test_case "dpor matches exhaustive dfs" `Slow

@@ -1,0 +1,425 @@
+(* Fleet observatory: telemetry collectors, progress streams and the
+   bench-diff regression gate.
+
+   The load-bearing properties:
+   - Attaching a collector or progress sink never changes matrix
+     results (observation is host-side only).
+   - Counter totals are deterministic: total cells = matrix size at any
+     worker count, even though per-worker attribution is not.
+   - The progress stream is well-formed JSON lines with the documented
+     event grammar, and the straggler/heartbeat logic is exact under an
+     injected clock.
+   - bench-diff gates deterministic metrics hard and host timing only
+     advisorily. *)
+
+module Matrix = Threads_runner.Matrix
+module T = Threads_runner.Telemetry
+module Fleet = Threads_telemetry.Fleet
+module Progress = Threads_telemetry.Progress
+module Bd = Threads_telemetry.Bench_diff
+module Ex = Firefly.Explore
+module Sc = Threads_harness.Explore_scenarios
+
+let job_counts = [ 1; 2; 4; 8 ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---- fleet collector ---- *)
+
+let test_fleet_map_noninterference () =
+  let n = 200 in
+  let cell i = (i * 13) + 5 in
+  let plain = Matrix.map ~jobs:1 ~n cell in
+  List.iter
+    (fun jobs ->
+      let fl = Fleet.create ~jobs ~cells:n () in
+      let got = Matrix.map ~telemetry:(Fleet.sink fl) ~jobs ~n cell in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map results unchanged (jobs=%d)" jobs)
+        plain got;
+      let rep = Fleet.snapshot fl in
+      Alcotest.(check int)
+        (Printf.sprintf "every cell counted exactly once (jobs=%d)" jobs)
+        n (Fleet.total_cells rep);
+      Alcotest.(check int) "jobs recorded" jobs rep.Fleet.r_jobs;
+      Alcotest.(check int) "expected recorded" n rep.Fleet.r_expected)
+    job_counts
+
+let test_fleet_iter_ordered_noninterference () =
+  let n = 500 in
+  List.iter
+    (fun jobs ->
+      let fl = Fleet.create ~jobs ~cells:n () in
+      let seen = ref [] in
+      Matrix.iter_ordered ~telemetry:(Fleet.sink fl) ~jobs ~n
+        ~f:(fun i -> i * 2)
+        ~consume:(fun i v ->
+          Alcotest.(check int) "value matches index" (i * 2) v;
+          seen := i :: !seen)
+        ();
+      Alcotest.(check (list int))
+        (Printf.sprintf "consume order unchanged (jobs=%d)" jobs)
+        (List.init n (fun i -> i))
+        (List.rev !seen);
+      let rep = Fleet.snapshot fl in
+      Alcotest.(check int) "cells counted" n (Fleet.total_cells rep);
+      Alcotest.(check bool) "in-flight high-water >= 1" true
+        (rep.Fleet.r_inflight_hw >= 1))
+    job_counts
+
+let test_fleet_steals_balance () =
+  (* Steals won on one side are stolen cells on the same side: the sink
+     reports both from the thief, so the totals must agree. *)
+  let n = 64 in
+  let fl = Fleet.create ~jobs:4 ~cells:n () in
+  ignore
+    (Matrix.map ~telemetry:(Fleet.sink fl) ~jobs:4 ~n (fun i ->
+         let acc = ref 0 in
+         for j = 1 to if i mod 5 = 0 then 50_000 else 100 do
+           acc := !acc + (j mod 7)
+         done;
+         !acc));
+  let rep = Fleet.snapshot fl in
+  let won =
+    List.fold_left (fun a w -> a + w.Fleet.ws_steals_won) 0 rep.Fleet.r_workers
+  and stolen =
+    List.fold_left
+      (fun a w -> a + w.Fleet.ws_stolen_cells)
+      0 rep.Fleet.r_workers
+  in
+  Alcotest.(check bool) "stolen cells >= steal wins" true (stolen >= won);
+  Alcotest.(check int) "all cells executed" n (Fleet.total_cells rep)
+
+let test_fleet_render_and_chrome () =
+  let clk = ref 0. in
+  let now () = !clk in
+  let fl = Fleet.create ~label:"unit" ~now ~jobs:2 ~cells:3 () in
+  let s = Fleet.sink fl in
+  (* Two cells on worker 0 closer than the coalescing gap, one on
+     worker 1 after a long idle stretch. *)
+  s.T.cell_start ~worker:0 ~cell:0;
+  clk := 0.010;
+  s.T.cell_done ~worker:0 ~cell:0;
+  clk := 0.0101;
+  s.T.cell_start ~worker:0 ~cell:1;
+  clk := 0.020;
+  s.T.cell_done ~worker:0 ~cell:1;
+  clk := 1.0;
+  s.T.cell_start ~worker:1 ~cell:2;
+  clk := 1.5;
+  s.T.cell_done ~worker:1 ~cell:2;
+  clk := 2.0;
+  let rep = Fleet.snapshot fl in
+  let w0 = List.nth rep.Fleet.r_workers 0 in
+  Alcotest.(check int) "w0 segments coalesced" 1
+    (List.length w0.Fleet.ws_segments);
+  let rendered = Fleet.render rep in
+  Alcotest.(check bool) "render has title" true
+    (contains rendered "fleet: unit");
+  Alcotest.(check bool) "render has totals row" true
+    (contains rendered "all");
+  let trace = Fleet.chrome rep in
+  match Obs.Json.find trace "traceEvents" with
+  | Some (Obs.Json.Arr evs) ->
+    let xs =
+      List.filter
+        (fun e -> Obs.Json.find e "ph" = Some (Obs.Json.String "X"))
+        evs
+    in
+    (* one coalesced segment for worker 0, one for worker 1 *)
+    Alcotest.(check int) "one X event per busy segment" 2 (List.length xs)
+  | _ -> Alcotest.fail "chrome trace lacks traceEvents"
+
+(* ---- progress stream ---- *)
+
+let parse_lines lines =
+  List.rev_map (fun l -> Obs.Json.of_string (String.trim l)) lines
+
+let event_name j =
+  match Obs.Json.find j "event" with
+  | Some (Obs.Json.String s) -> s
+  | _ -> Alcotest.fail "event without a name"
+
+let test_progress_event_stream () =
+  let lines = ref [] in
+  let p =
+    Progress.create ~interval:0. ~dest:(Progress.Custom (fun l -> lines := l :: !lines))
+      ~label:"unit" ~total:5 ~jobs:2 ()
+  in
+  Progress.phase p "warmup" ~cells:5;
+  ignore (Matrix.map ~telemetry:(Progress.sink p) ~jobs:2 ~n:5 (fun i -> i));
+  Progress.finish p;
+  Progress.finish p (* idempotent *);
+  let evs = parse_lines !lines in
+  Alcotest.(check string) "first event is start" "start"
+    (event_name (List.hd evs));
+  Alcotest.(check string) "last event is done" "done"
+    (event_name (List.nth evs (List.length evs - 1)));
+  Alcotest.(check bool) "phase announced" true
+    (List.exists (fun e -> event_name e = "phase") evs);
+  (* interval 0 => one heartbeat per completed cell, with monotone
+     non-decreasing done counts ending at the total *)
+  let hbs = List.filter (fun e -> event_name e = "heartbeat") evs in
+  Alcotest.(check int) "heartbeat per cell" 5 (List.length hbs);
+  let dones =
+    List.map
+      (fun e ->
+        match Obs.Json.find e "done" with
+        | Some (Obs.Json.Int n) -> n
+        | _ -> Alcotest.fail "heartbeat without done")
+      hbs
+  in
+  Alcotest.(check (list int)) "done counts monotone" [ 1; 2; 3; 4; 5 ] dones;
+  match List.rev evs with
+  | last :: _ ->
+    Alcotest.(check bool) "done event carries cells" true
+      (Obs.Json.find last "cells" = Some (Obs.Json.Int 5))
+  | [] -> Alcotest.fail "no events"
+
+let test_progress_straggler () =
+  let clk = ref 0. in
+  let lines = ref [] in
+  let p =
+    Progress.create
+      ~now:(fun () -> !clk)
+      ~interval:1e9 (* suppress heartbeats: isolate the straggler path *)
+      ~dest:(Progress.Custom (fun l -> lines := l :: !lines))
+      ~label:"unit" ~total:10 ~jobs:1 ()
+  in
+  let s = Progress.sink p in
+  (* Baseline: 8 cells of 10ms each — too fast and too uniform to flag. *)
+  for i = 0 to 7 do
+    s.T.cell_start ~worker:0 ~cell:i;
+    clk := !clk +. 0.010;
+    s.T.cell_done ~worker:0 ~cell:i
+  done;
+  Alcotest.(check bool) "no straggler in the baseline" false
+    (List.exists
+       (fun e -> event_name e = "straggler")
+       (parse_lines !lines));
+  (* One cell at 25x the mean. *)
+  s.T.cell_start ~worker:0 ~cell:8;
+  clk := !clk +. 0.250;
+  s.T.cell_done ~worker:0 ~cell:8;
+  let stragglers =
+    List.filter (fun e -> event_name e = "straggler") (parse_lines !lines)
+  in
+  Alcotest.(check int) "straggler flagged once" 1 (List.length stragglers);
+  let st = List.hd stragglers in
+  Alcotest.(check bool) "straggler names the cell" true
+    (Obs.Json.find st "cell" = Some (Obs.Json.Int 8))
+
+let test_progress_never_stdout () =
+  (* The matrix result is identical with and without a live progress
+     stream — the stream goes only to its own destination. *)
+  let n = 100 in
+  let cell i = Printf.sprintf "row-%d" i in
+  let plain = Matrix.map ~jobs:4 ~n cell in
+  let sunk = ref 0 in
+  let p =
+    Progress.create ~interval:0.
+      ~dest:(Progress.Custom (fun _ -> incr sunk))
+      ~label:"unit" ~total:n ~jobs:4 ()
+  in
+  let got = Matrix.map ~telemetry:(Progress.sink p) ~jobs:4 ~n cell in
+  Progress.finish p;
+  Alcotest.(check (array string)) "results identical" plain got;
+  Alcotest.(check bool) "events actually flowed" true (!sunk > 0)
+
+(* ---- DPOR explore instrumentation ---- *)
+
+let test_explore_progress_monotone () =
+  let s = Option.get (Sc.find "wakeup-waiting") in
+  let snaps = ref [] in
+  let v, final =
+    Ex.explore_dpor ~max_depth:s.Sc.max_depth
+      ~progress:(fun st -> snaps := st :: !snaps)
+      ~build:s.Sc.build s.Sc.check
+  in
+  Alcotest.(check (list string)) "violations unchanged" s.Sc.expect v;
+  let snaps = List.rev !snaps in
+  Alcotest.(check int) "one snapshot per execution" final.Ex.executions
+    (List.length snaps);
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Ex.executions <= b.Ex.executions
+      && a.Ex.sleep_blocked <= b.Ex.sleep_blocked
+      && a.Ex.peak_depth <= b.Ex.peak_depth
+      && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "snapshots monotone" true (monotone snaps);
+  (* Snapshots land right after each execution, before the backtracking
+     that may still discover sleep-blocked branches — so the last one
+     matches the final stats on executions/depth and trails at most on
+     sleep_blocked. *)
+  let last = List.nth snaps (List.length snaps - 1) in
+  Alcotest.(check int) "last snapshot saw every execution"
+    final.Ex.executions last.Ex.executions;
+  Alcotest.(check int) "last snapshot saw the peak depth"
+    final.Ex.peak_depth last.Ex.peak_depth;
+  Alcotest.(check bool) "sleep counter only trails" true
+    (last.Ex.sleep_blocked <= final.Ex.sleep_blocked);
+  Alcotest.(check bool) "peak depth positive" true (final.Ex.peak_depth > 0)
+
+let test_explore_telemetry_identical () =
+  (* Instrumented parallel exploration returns exactly what the bare one
+     does — including the new peak_depth stat — at any worker count. *)
+  let s = Option.get (Sc.find "wakeup-waiting") in
+  let bare =
+    Ex.explore_dpor_parallel ~max_depth:s.Sc.max_depth ~split_branches:2
+      ~jobs:1 ~build:s.Sc.build s.Sc.check
+  in
+  List.iter
+    (fun jobs ->
+      let fl = Fleet.create ~jobs ~cells:0 () in
+      let ticks = ref 0 in
+      let instrumented =
+        Ex.explore_dpor_parallel ~max_depth:s.Sc.max_depth ~split_branches:2
+          ~jobs
+          ~progress:(fun _ -> incr ticks)
+          ~telemetry:(Fleet.sink fl) ~build:s.Sc.build s.Sc.check
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "instrumented result identical (jobs=%d)" jobs)
+        true (instrumented = bare);
+      Alcotest.(check bool) "progress ticked" true (!ticks > 0))
+    job_counts
+
+(* ---- bench-diff ---- *)
+
+let bench ?(cycles = []) ?(host = []) ?dpor_execs ?(agree = true) () =
+  let arm name =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ( "host_us_per_run",
+          match List.assoc_opt name host with
+          | Some us -> Obs.Json.Float us
+          | None -> Obs.Json.Null );
+        ( "sim_cycles",
+          match List.assoc_opt name cycles with
+          | Some c -> Obs.Json.Int c
+          | None -> Obs.Json.Null );
+      ]
+  in
+  let names =
+    List.sort_uniq compare (List.map fst cycles @ List.map fst host)
+  in
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 2);
+      ( "dpor",
+        Obs.Json.Obj
+          ([ ("violations_agree", Obs.Json.Bool agree) ]
+          @
+          match dpor_execs with
+          | Some n -> [ ("dpor_executions", Obs.Json.Int n) ]
+          | None -> []) );
+      ("benchmarks", Obs.Json.Arr (List.map arm names));
+    ]
+
+let test_bench_diff_gate () =
+  let old_ = bench ~cycles:[ ("a", 1000); ("b", 500) ] ~dpor_execs:14 () in
+  (* a regresses 1%, b improves *)
+  let new_ = bench ~cycles:[ ("a", 1010); ("b", 400) ] ~dpor_execs:14 () in
+  let r = Bd.compare_json ~old_ ~new_ () in
+  Alcotest.(check bool) "default gate 0: any increase fails" false (Bd.ok r);
+  Alcotest.(check int) "exactly one regression" 1
+    (List.length r.Bd.d_regressions);
+  let r5 = Bd.compare_json ~gate:5. ~old_ ~new_ () in
+  Alcotest.(check bool) "1% increase passes a 5% gate" true (Bd.ok r5);
+  let statuses =
+    List.map (fun a -> (a.Bd.a_name, a.Bd.a_status)) r.Bd.d_arms
+  in
+  Alcotest.(check bool) "a regressed / b improved" true
+    (statuses = [ ("a", Bd.Regression); ("b", Bd.Improvement) ]);
+  Alcotest.(check bool) "render announces FAIL" true
+    (contains (Bd.render r) "bench-diff: FAIL")
+
+let test_bench_diff_dpor_and_agreement () =
+  let old_ = bench ~cycles:[ ("a", 100) ] ~dpor_execs:14 () in
+  let worse = bench ~cycles:[ ("a", 100) ] ~dpor_execs:20 () in
+  Alcotest.(check bool) "dpor execution growth is a regression" false
+    (Bd.ok (Bd.compare_json ~old_ ~new_:worse ()));
+  let broken =
+    bench ~cycles:[ ("a", 100) ] ~dpor_execs:14 ~agree:false ()
+  in
+  Alcotest.(check bool) "violation-set disagreement is a regression" false
+    (Bd.ok (Bd.compare_json ~old_ ~new_:broken ()))
+
+let test_bench_diff_host_advisory () =
+  let old_ = bench ~cycles:[ ("a", 100) ] ~host:[ ("a", 10.) ] () in
+  let new_ = bench ~cycles:[ ("a", 100) ] ~host:[ ("a", 20.) ] () in
+  let r = Bd.compare_json ~old_ ~new_ () in
+  Alcotest.(check bool) "host drift never fails the diff" true (Bd.ok r);
+  Alcotest.(check int) "but is advisory" 1 (List.length r.Bd.d_advisories);
+  let quiet =
+    Bd.compare_json ~host_gate:150. ~old_ ~new_ ()
+  in
+  Alcotest.(check int) "advisory threshold respected" 0
+    (List.length quiet.Bd.d_advisories)
+
+let test_bench_diff_added_removed () =
+  let old_ = bench ~cycles:[ ("gone", 10); ("kept", 5) ] () in
+  let new_ = bench ~cycles:[ ("kept", 5); ("fresh", 7) ] () in
+  let r = Bd.compare_json ~old_ ~new_ () in
+  Alcotest.(check bool) "arm churn is not a failure" true (Bd.ok r);
+  Alcotest.(check (list string)) "statuses by arm"
+    [ "removed"; "ok"; "added" ]
+    (List.map (fun a -> Bd.status_name a.Bd.a_status) r.Bd.d_arms)
+
+let test_bench_diff_jsonl_history () =
+  let path = Filename.temp_file "bench_hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.Json.to_string (bench ~cycles:[ ("a", 111) ] ()) ^ "\n");
+      output_string oc
+        (Obs.Json.to_string (bench ~cycles:[ ("a", 222) ] ()) ^ "\n");
+      close_out oc;
+      let j = Bd.load_file path in
+      let r = Bd.compare_json ~old_:j ~new_:(bench ~cycles:[ ("a", 222) ] ()) () in
+      (* comparing the history's *last* record against itself: clean *)
+      Alcotest.(check bool) "last record wins" true (Bd.ok r);
+      match r.Bd.d_arms with
+      | [ a ] -> Alcotest.(check (option int)) "cycles from last line"
+          (Some 222) a.Bd.a_old_cycles
+      | _ -> Alcotest.fail "expected one arm")
+
+let suite =
+  ( "telemetry-observatory",
+    [
+      Alcotest.test_case "fleet map noninterference" `Quick
+        test_fleet_map_noninterference;
+      Alcotest.test_case "fleet iter_ordered noninterference" `Quick
+        test_fleet_iter_ordered_noninterference;
+      Alcotest.test_case "fleet steal accounting" `Quick
+        test_fleet_steals_balance;
+      Alcotest.test_case "fleet render + chrome trace" `Quick
+        test_fleet_render_and_chrome;
+      Alcotest.test_case "progress event stream" `Quick
+        test_progress_event_stream;
+      Alcotest.test_case "progress straggler detection" `Quick
+        test_progress_straggler;
+      Alcotest.test_case "progress leaves results alone" `Quick
+        test_progress_never_stdout;
+      Alcotest.test_case "explore progress monotone" `Quick
+        test_explore_progress_monotone;
+      Alcotest.test_case "explore telemetry identical" `Quick
+        test_explore_telemetry_identical;
+      Alcotest.test_case "bench-diff cycle gate" `Quick test_bench_diff_gate;
+      Alcotest.test_case "bench-diff dpor + agreement" `Quick
+        test_bench_diff_dpor_and_agreement;
+      Alcotest.test_case "bench-diff host advisory" `Quick
+        test_bench_diff_host_advisory;
+      Alcotest.test_case "bench-diff arm churn" `Quick
+        test_bench_diff_added_removed;
+      Alcotest.test_case "bench-diff jsonl history" `Quick
+        test_bench_diff_jsonl_history;
+    ] )
