@@ -213,7 +213,7 @@ let chaos_driver =
   Option.get analysis_backend.Threads_backend.Backend.chaos
 
 let chaos_empty_plan = Threads_fault.Plan.{ id = -1; actions = [] }
-let chaos_delay_plan = Threads_fault.Plan.generate ~plan_id:0
+let chaos_delay_plan = Threads_fault.Plan.generate ~plan_id:0 ()
 
 let chaos_empty =
   Test.make ~name:"chaos/sim mutex, empty plan"

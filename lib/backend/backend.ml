@@ -260,7 +260,7 @@ let all =
       description = "Firefly simulator, Taos two-layer implementation";
       real_parallelism = false;
       conforming = true;
-      supports = [ Workload.Alerts; Workload.Timeouts ];
+      supports = [ Workload.Alerts; Workload.Timeouts; Workload.Interrupts ];
       run = sim_run;
       instrument =
         Machine_access (fun ~seed wl -> machine_run ~record:true ~seed taos_build wl);
@@ -275,7 +275,7 @@ let all =
       description = "cooperative uniprocessor implementation";
       real_parallelism = false;
       conforming = true;
-      supports = [ Workload.Alerts; Workload.Timeouts ];
+      supports = [ Workload.Alerts; Workload.Timeouts; Workload.Interrupts ];
       run = uniproc_run;
       instrument =
         Machine_access
@@ -297,7 +297,7 @@ let all =
       description = "condition variables as binary semaphores (E5 baseline)";
       real_parallelism = false;
       conforming = false;
-      supports = [];
+      supports = [ Workload.Interrupts ];
       run = naive_run;
       instrument =
         Machine_access
@@ -313,7 +313,7 @@ let all =
       description = "Hoare monitors: signal hands over the mutex (E8 baseline)";
       real_parallelism = false;
       conforming = false;
-      supports = [];
+      supports = [ Workload.Interrupts ];
       run = hoare_run;
       instrument =
         Machine_access

@@ -22,6 +22,12 @@ let conform_cell (backend : Backend.t) (workload : Workload.t) seed =
   let report = Conformance.check iface outcome.trace in
   { seed; outcome; report }
 
+(* Single-cell entry point for callers that bring their own matrix — the
+   generative engine runs one (program, seed) cell per generated
+   scenario and shrinks on the result. *)
+let run_one (backend : Backend.t) (workload : Workload.t) ~seed =
+  conform_cell backend workload seed
+
 (* Matrix cells are independent: each run builds its own machine, the
    ambient probe slot is domain-local, and the scheduler RNG is seeded
    per cell — so [Matrix.map] may execute them on any domain in any
@@ -193,7 +199,7 @@ type chaos_summary = {
 (* Plan-major cell numbering: cell [i] is plan [i / seeds], seed
    [i mod seeds] — the same order the sequential nest produced. *)
 let chaos_cell backend workload ~seeds i =
-  let plan = Plan.generate ~plan_id:(i / seeds) in
+  let plan = Plan.generate ~plan_id:(i / seeds) () in
   chaos_one backend workload ~seed:(i mod seeds) plan
 
 let chaos ?telemetry ?(jobs = 1) (backend : Backend.t) (workload : Workload.t)

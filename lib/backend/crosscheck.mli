@@ -33,6 +33,11 @@ val conform :
   ?telemetry:Threads_runner.Telemetry.sink -> ?jobs:int -> Backend.t ->
   Workload.t -> seeds:int -> summary
 
+(** [run_one b w ~seed] — one conformance cell: run the workload on seed
+    [seed] and check the emitted trace against the spec.  The generative
+    engine's per-scenario entry point. *)
+val run_one : Backend.t -> Workload.t -> seed:int -> run
+
 (** Aggregates over a summary's runs. *)
 
 val violations : summary -> int

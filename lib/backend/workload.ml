@@ -1,6 +1,6 @@
 module Sync_intf = Taos_threads.Sync_intf
 
-type feature = Alerts | Timeouts
+type feature = Alerts | Timeouts | Interrupts
 
 type t = {
   name : string;

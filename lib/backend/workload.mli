@@ -11,6 +11,10 @@
 type feature =
   | Alerts  (** the workload uses Alert/TestAlert/Alert*. *)
   | Timeouts  (** the workload uses TimedWait/TimedP. *)
+  | Interrupts
+      (** the workload raises interrupts
+          ({!Firefly.Machine.spawn_interrupt}); simulator-hosted backends
+          only. *)
 
 type t = {
   name : string;

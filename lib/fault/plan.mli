@@ -41,5 +41,30 @@ val families : int
 
 (** [generate ~plan_id] is a fixed, reproducible plan: equal ids yield
     equal plans, and consecutive ids cycle through the action families
-    with id-seeded jitter. *)
-val generate : plan_id:int -> t
+    with id-seeded jitter.  With [?seed], the jitter draws from the
+    {!Threads_util.Rng.cell} stream keyed by [(seed, plan_id)] instead of
+    the historical constant base, so independent matrices draw
+    independent, reproducible plan streams; omitting [seed] preserves the
+    original pinned plans byte for byte. *)
+val generate : ?seed:int -> plan_id:int -> unit -> t
+
+(** [random ~seed ~id] is a free-form plan for generative campaigns: an
+    arbitrary-length mix of action families drawn from the
+    [Rng.cell ~base:seed ~index:id] stream.  Deterministic in
+    [(seed, id)]. *)
+val random : seed:int -> id:int -> t
+
+(** Total magnitude of a plan's parameters (shrink tie-breaker). *)
+val weight : t -> int
+
+(** [shrink p] — strictly-simpler candidate plans, deterministic order:
+    each action dropped, then each action's magnitude halved.  Greedy
+    minimization terminates because [(List.length p.actions, weight p)]
+    decreases lexicographically along any accepted chain. *)
+val shrink : t -> t list
+
+(** One-line round-trip encoding of an action, for replay files.
+    [decode_action (encode_action a) = Some a]. *)
+val encode_action : action -> string
+
+val decode_action : string -> action option

@@ -348,6 +348,17 @@ let add_thread m ?(priority = 0) ?(interrupt = false) f =
 
 let spawn_root ?priority ?interrupt m f = add_thread m ?priority ?interrupt f
 
+(* Raise an interrupt from inside running thread code: the ambient
+   machine is the one executing the calling thread on this domain.  The
+   handler runs as a fresh interrupt-context thread — it may post (V) a
+   semaphore but any attempt to block fails it, exactly the paper's
+   device-interrupt discipline. *)
+let spawn_interrupt f =
+  match current () with
+  | Some (m, _) -> add_thread m ~interrupt:true f
+  | None ->
+    failwith "Machine.spawn_interrupt: no machine is running on this domain"
+
 let is_interrupt m tid = (thread m tid).intr
 
 let status m tid = (thread m tid).status

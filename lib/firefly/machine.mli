@@ -351,6 +351,14 @@ val create : ?seed:int -> ?cost:Cost.t -> unit -> t
 val spawn_root :
   ?priority:int -> ?interrupt:bool -> t -> (unit -> unit) -> Threads_util.Tid.t
 
+(** [spawn_interrupt f] — raise an interrupt from {e inside} running
+    thread code: spawns [f] as an interrupt-context thread
+    ([spawn_root ~interrupt:true]) on the machine currently executing the
+    calling thread on this domain.  The handler may post a semaphore (V)
+    but fails if it tries to block.  Raises [Failure] when no machine is
+    running on the calling domain (e.g. a hardware backend). *)
+val spawn_interrupt : (unit -> unit) -> Threads_util.Tid.t
+
 val is_interrupt : t -> Threads_util.Tid.t -> bool
 
 val status : t -> Threads_util.Tid.t -> status

@@ -1,0 +1,130 @@
+module Bk = Threads_backend.Backend
+module Plan = Threads_fault.Plan
+module Rng = Threads_util.Rng
+module Matrix = Threads_runner.Matrix
+module Telemetry = Threads_runner.Telemetry
+
+type config = {
+  policy : Generate.policy;
+  runs : int;
+  seed : int;
+  chaos : bool;
+  shrink : bool;
+}
+
+type result = {
+  backend : Bk.t;
+  config : config;
+  classes : (string * int) list;
+  failures : (int * Oracle.kind) list;
+  first_failure : (int * Oracle.scenario * Oracle.kind * string) option;
+  minimal : (Replay.file * Shrink.step list) option;
+}
+
+let scenario_of_cell config (backend : Bk.t) index =
+  let rng = Rng.cell ~base:config.seed ~index in
+  let program =
+    Generate.program ~policy:config.policy ~features:backend.Bk.supports rng
+  in
+  let seed = Rng.int rng 1_000_000 in
+  (* The plan draws its own stream, keyed off this cell's, so adding
+     chaos never perturbs the program the cell generates. *)
+  let plan =
+    if config.chaos then Some (Plan.random ~seed:(Rng.next rng) ~id:index)
+    else None
+  in
+  { Oracle.program; policy = config.policy; seed; plan }
+
+let label_of = function
+  | Oracle.Pass label -> label
+  | Oracle.Fail (kind, _) -> Oracle.kind_name kind
+
+let run ?telemetry ?(jobs = 1) (backend : Bk.t) config =
+  if config.chaos && backend.Bk.chaos = None then
+    invalid_arg
+      (Printf.sprintf "generate: backend %s has no chaos driver"
+         backend.Bk.name);
+  let cells =
+    Matrix.map ?telemetry ~jobs ~n:config.runs (fun i ->
+        let s = scenario_of_cell config backend i in
+        (s, Oracle.run backend s))
+  in
+  let classes = Hashtbl.create 8 in
+  let order = ref [] in
+  let failures = ref [] in
+  let first_failure = ref None in
+  Array.iteri
+    (fun i (s, c) ->
+      let label = label_of c in
+      (if not (Hashtbl.mem classes label) then order := label :: !order);
+      Hashtbl.replace classes label
+        (1 + Option.value ~default:0 (Hashtbl.find_opt classes label));
+      match c with
+      | Oracle.Pass _ -> ()
+      | Oracle.Fail (kind, detail) ->
+        failures := (i, kind) :: !failures;
+        if !first_failure = None then
+          first_failure := Some (i, s, kind, detail))
+    cells;
+  let minimal =
+    match (config.shrink, !first_failure) with
+    | true, Some (_, s, kind, _) ->
+      let minimal, trail = Shrink.minimize backend s kind in
+      Some
+        ( {
+            Replay.backend = backend.Bk.name;
+            scenario = minimal;
+            expect = Some kind;
+          },
+          trail )
+    | _ -> None
+  in
+  {
+    backend;
+    config;
+    classes =
+      List.rev_map (fun l -> (l, Hashtbl.find classes l)) !order;
+    failures = List.rev !failures;
+    first_failure = !first_failure;
+    minimal;
+  }
+
+let render ppf r =
+  let c = r.config in
+  Format.fprintf ppf
+    "generate: backend=%s policy=%s runs=%d seed=%d chaos=%s@."
+    r.backend.Bk.name
+    (Generate.policy_name c.policy)
+    c.runs c.seed
+    (if c.chaos then "on" else "off");
+  Format.fprintf ppf "  classes:";
+  List.iter (fun (l, n) -> Format.fprintf ppf " %s=%d" l n) r.classes;
+  Format.fprintf ppf "@.";
+  Format.fprintf ppf "  failures: %d@." (List.length r.failures);
+  (match r.first_failure with
+  | None -> ()
+  | Some (i, s, kind, detail) ->
+    Format.fprintf ppf "  first counterexample: run %d, %s@." i
+      (Oracle.kind_name kind);
+    Format.fprintf ppf "    %s@." detail;
+    Format.fprintf ppf "    size %d ops, weight %d@."
+      (Oracle.scenario_size s) (Oracle.scenario_weight s));
+  match r.minimal with
+  | None -> ()
+  | Some (file, trail) ->
+    let s = file.Replay.scenario in
+    Format.fprintf ppf
+      "  shrink: %d accepted steps -> %d ops (weight %d)@."
+      (List.length trail) (Oracle.scenario_size s)
+      (Oracle.scenario_weight s);
+    List.iter
+      (fun st ->
+        Format.fprintf ppf "    %s -> size %d weight %d@."
+          st.Shrink.st_action st.Shrink.st_size st.Shrink.st_weight)
+      trail;
+    Format.fprintf ppf "  minimal counterexample:@.";
+    Format.fprintf ppf "%s"
+      (String.concat ""
+         (List.map
+            (fun l -> "    | " ^ l ^ "\n")
+            (String.split_on_char '\n' (String.trim (Replay.to_string file)))))

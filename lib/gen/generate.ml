@@ -1,0 +1,217 @@
+module Rng = Threads_util.Rng
+module Wl = Threads_backend.Workload
+
+type policy = Safe | Free | Irq
+
+let policy_name = function Safe -> "safe" | Free -> "free" | Irq -> "irq"
+
+let policy_of_string = function
+  | "safe" -> Some Safe
+  | "free" -> Some Free
+  | "irq" -> Some Irq
+  | _ -> None
+
+let policies = [ Safe; Free; Irq ]
+let deadlock_is_failure = function Safe | Irq -> true | Free -> false
+
+(* Weighted choice over a frequency table; the table is filtered before
+   drawing so unavailable entries never consume randomness. *)
+let frequency rng table =
+  let table = List.filter (fun (w, _) -> w > 0) table in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 table in
+  let rec pick n = function
+    | [] -> invalid_arg "frequency: empty table"
+    | (w, x) :: rest -> if n < w then x else pick (n - w) rest
+  in
+  pick (Rng.int rng total) table
+
+(* A sorted, duplicate-free random subset of [0..n-1] of size <= k. *)
+let ordered_subset rng n k =
+  let want = 1 + Rng.int rng k in
+  let rec draw acc = function
+    | 0 -> acc
+    | i ->
+      let m = Rng.int rng n in
+      draw (if List.mem m acc then acc else m :: acc) (i - 1)
+  in
+  List.sort_uniq compare (draw [] want)
+
+(* Unordered variant for the Free policy: still duplicate-free (nested
+   re-acquisition self-deadlocks trivially and teaches nothing) but in
+   random order, so opposite nesting orders can collide. *)
+let unordered_subset rng n k =
+  let subset = ordered_subset rng n k in
+  let arr = Array.of_list subset in
+  Rng.shuffle rng arr;
+  Array.to_list arr
+
+let program ?(small = false) ~policy ~features rng =
+  let has f = List.mem f features in
+  let alerts = has Wl.Alerts and timeouts = has Wl.Timeouts in
+  let irqs_ok = has Wl.Interrupts in
+  let policy = if policy = Irq && not irqs_ok then Safe else policy in
+  let cap hi = if small then min hi 2 else hi in
+  let mutexes = 1 + Rng.int rng (cap 3) in
+  let sems = 1 + Rng.int rng (cap 2) in
+  let flags = Rng.int rng (1 + cap 2) in
+  let tokens = Rng.int rng (1 + cap 2) in
+  let nworkers = 1 + Rng.int rng (cap 3) in
+  (* Interrupt semaphores are binary: concurrent handshakes on a shared
+     one would coalesce their Vs and deadlock even on a correct backend,
+     so each thread owns its own (worker i -> irq i, root -> irq
+     nworkers); canonicalize compacts the unused ones away. *)
+  let irqs = if irqs_ok then nworkers + 1 else 0 in
+  let max_ops = if small then 3 else 5 in
+  let ticks () = Rng.int rng 4 in
+  let patience () = 100 + (50 * Rng.int rng 4) in
+  let gen_op ~in_worker ~self =
+    let lock () =
+      let subset =
+        if policy = Free then unordered_subset rng mutexes 2
+        else ordered_subset rng mutexes 2
+      in
+      Prog.Lock (subset, ticks ())
+    in
+    let free = policy = Free in
+    (* Flag waits and token consumes block until the root's coverage
+       tail runs, so under Safe they may only appear in workers — the
+       root awaiting a flag it has yet to set would deadlock a correct
+       backend. *)
+    let may_block = in_worker || free in
+    frequency rng
+      [
+        (4, `Lock);
+        (2, `Sem);
+        ((if timeouts then 1 else 0), `Timed_sem);
+        ((if may_block && flags > 0 then 3 else 0), `Await);
+        ((if may_block && timeouts && flags > 0 then 1 else 0), `Timed_await);
+        ((if may_block && alerts && flags > 0 then 2 else 0), `Alert_await);
+        ((if free && flags > 0 then 2 else 0), `Set_flag);
+        ((if free && tokens > 0 then 2 else 0), `Produce);
+        ((if may_block && tokens > 0 then 2 else 0), `Consume);
+        ((if alerts && nworkers > 0 then 1 else 0), `Alert_peer);
+        ((if alerts then 1 else 0), `Poll_alert);
+        ((if policy = Irq then 3 else if irqs_ok then 1 else 0), `Interrupt_v);
+        (1, `Yield);
+        (2, `Work);
+      ]
+    |> function
+    | `Lock -> lock ()
+    | `Sem -> Prog.Sem (Rng.int rng sems, ticks ())
+    | `Timed_sem -> Prog.Timed_sem (Rng.int rng sems, patience ())
+    | `Await -> Prog.Await (Rng.int rng flags)
+    | `Timed_await -> Prog.Timed_await (Rng.int rng flags)
+    | `Alert_await -> Prog.Alert_await (Rng.int rng flags)
+    | `Set_flag -> Prog.Set_flag (Rng.int rng flags)
+    | `Produce -> Prog.Produce (Rng.int rng tokens)
+    | `Consume -> Prog.Consume (Rng.int rng tokens)
+    | `Alert_peer -> Prog.Alert_peer (Rng.int rng nworkers)
+    | `Poll_alert -> Prog.Poll_alert
+    | `Interrupt_v -> Prog.Interrupt_v self
+    | `Yield -> Prog.Yield
+    | `Work -> Prog.Work (1 + Rng.int rng 3)
+  in
+  let threads =
+    List.init nworkers (fun i ->
+        let n = 1 + Rng.int rng max_ops in
+        List.init n (fun _ -> gen_op ~in_worker:true ~self:i))
+  in
+  (* Start-barrier pattern: with probability 1/2 every worker first
+     awaits a dedicated shared flag the root sets once (via the coverage
+     tail below).  This parks all workers on one condition before the
+     broadcast — the paper's E5 shape, where a broadcast that coalesces
+     wakeups strands the rest of the crowd. *)
+  let barrier = nworkers >= 2 && Rng.int rng 2 = 0 in
+  let flags = if barrier then flags + 1 else flags in
+  let threads =
+    if barrier then
+      List.map (fun ops -> Prog.Await (flags - 1) :: ops) threads
+    else threads
+  in
+  (* Alert-handshake pattern: with probability 1/3 (alerts available)
+     one worker opens with [alert_wait] on a dedicated flag {e nobody
+     sets} — its only way out is the root's Alert, so the run drives
+     AlertResume's Alerted case while the waiter is enqueued.  The flag
+     stays exempt from the coverage tail below; termination comes from
+     the alert itself. *)
+  let handshake = alerts && Rng.int rng 3 = 0 in
+  let hs_flag = flags in
+  let hs_waiter = if handshake then Rng.int rng nworkers else -1 in
+  let flags = if handshake then flags + 1 else flags in
+  let threads =
+    if handshake then
+      List.mapi
+        (fun i ops ->
+          if i = hs_waiter then Prog.Alert_await hs_flag :: ops else ops)
+        threads
+    else threads
+  in
+  let main_prefix =
+    let n = Rng.int rng (1 + (max_ops / 2)) in
+    List.init n (fun _ -> gen_op ~in_worker:false ~self:nworkers)
+  in
+  let main_prefix =
+    if handshake then main_prefix @ [ Prog.Alert_peer hs_waiter ]
+    else main_prefix
+  in
+  (* The Safe contract: the root covers every consumed token and sets
+     every awaited flag after its own prefix, so all workers terminate.
+     Free covers each obligation only with probability 3/4 — stranding
+     is allowed there and classified accordingly. *)
+  let covers () = policy <> Free || Rng.int rng 4 < 3 in
+  let consumed t =
+    List.fold_left
+      (fun a ops ->
+        a
+        + List.fold_left
+            (fun a o -> if o = Prog.Consume t then a + 1 else a)
+            0 ops)
+      0 threads
+  in
+  let produces =
+    List.concat
+      (List.init tokens (fun t ->
+           let missing =
+             consumed t
+             - List.fold_left
+                 (fun a o -> if o = Prog.Produce t then a + 1 else a)
+                 0
+                 (main_prefix @ List.concat threads)
+           in
+           if missing > 0 && covers () then
+             List.init missing (fun _ -> Prog.Produce t)
+           else []))
+  in
+  let awaited f =
+    List.exists
+      (List.exists (function
+        | Prog.Await g | Prog.Timed_await g | Prog.Alert_await g -> g = f
+        | _ -> false))
+      threads
+  in
+  let already_set f =
+    List.exists
+      (fun o -> o = Prog.Set_flag f)
+      (main_prefix @ List.concat threads)
+  in
+  let set_flags =
+    List.concat
+      (List.init flags (fun f ->
+           if
+             awaited f
+             && (not (handshake && f = hs_flag))
+             && (not (already_set f))
+             && covers ()
+           then [ Prog.Set_flag f ]
+           else []))
+  in
+  Prog.canonicalize
+    {
+      Prog.mutexes;
+      sems;
+      flags;
+      tokens;
+      irqs;
+      threads;
+      main = main_prefix @ produces @ set_flags;
+    }

@@ -1,0 +1,41 @@
+(** Policy-driven random program generation.
+
+    All randomness is drawn from one {!Threads_util.Rng.t}, so a program
+    is a pure function of (policy, feature set, rng state) — generation
+    matrices give each cell its own [Rng.cell] stream and stay
+    deterministic at any worker count. *)
+
+type policy =
+  | Safe
+      (** deadlock-free by construction: nested locks in global order,
+          bracketed semaphore regions, every awaited flag set by the
+          root, token produce/consume balanced, per-thread interrupt
+          semaphores.  On a conforming backend every Safe program
+          terminates, so a deadlock {e is} a counterexample. *)
+  | Free
+      (** drops the Safe invariants: unordered lock nesting, workers may
+          produce/set flags, the root may leave flags unset.  Deadlock
+          is expected; only spec violations count as counterexamples. *)
+  | Irq
+      (** Safe, with every worker raising interrupts ([Interrupt_v]) —
+          the paper's device-wakeup handshake under load.  Degenerates
+          to Safe when the backend lacks the [Interrupts] feature. *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+val policies : policy list
+
+(** [program ~policy ~features rng] draws a program whose ops use only
+    capabilities in [features] (a backend's [supports] list).  [small]
+    caps the program at two workers and three ops per thread — the shape
+    the spec-level mutant killer can model-check exhaustively. *)
+val program :
+  ?small:bool ->
+  policy:policy ->
+  features:Threads_backend.Workload.feature list ->
+  Threads_util.Rng.t ->
+  Prog.t
+
+(** Deadlocks count as counterexamples only under policies that
+    guarantee deadlock-freedom on a correct backend. *)
+val deadlock_is_failure : policy -> bool

@@ -1,0 +1,47 @@
+(** Run one generated scenario and classify the outcome.
+
+    A scenario is the (program, schedule seed, fault plan) triple the
+    tentpole shrinks.  Classification is policy-aware: a deadlock is a
+    counterexample only under policies that guarantee deadlock-freedom
+    on a correct backend ({!Generate.deadlock_is_failure}). *)
+
+type scenario = {
+  program : Prog.t;
+  policy : Generate.policy;
+  seed : int;  (** schedule seed *)
+  plan : Threads_fault.Plan.t option;  (** [Some] = run under the chaos engine *)
+}
+
+type kind =
+  | Violation of string
+      (** the trace broke the spec; payload is the violating action name
+          (e.g. ["Resume"]) — the shrinker preserves it *)
+  | Stranded  (** deadlock under a deadlock-free-by-construction policy *)
+  | Exhausted  (** step budget spent — livelock or lost progress *)
+  | Crashed of string  (** a thread died with an exception *)
+  | Unexplained
+      (** chaos mode: a failure with no injected fault to blame *)
+
+type classification =
+  | Pass of string  (** benign label: "conformant", "diagnosed", ... *)
+  | Fail of kind * string  (** kind + one-line detail *)
+
+val kind_name : kind -> string
+
+(** Parse [kind_name]'s rendering back (replay-file [expect] lines). *)
+val kind_of_string : string -> kind option
+
+(** Same failure, for shrink acceptance: constructor equality, and equal
+    violating actions for [Violation]. *)
+val same_kind : kind -> kind -> bool
+
+val scenario_size : scenario -> int
+
+(** Secondary shrink measure: program weight + plan weight. *)
+val scenario_weight : scenario -> int
+
+(** [run backend scenario] — execute and classify.  Raises
+    [Invalid_argument] if [scenario.plan] is [Some _] but [backend] has
+    no chaos driver, or if the backend lacks a feature the program
+    needs. *)
+val run : Threads_backend.Backend.t -> scenario -> classification

@@ -1,0 +1,270 @@
+module Wl = Threads_backend.Workload
+module Sync_intf = Taos_threads.Sync_intf
+
+type op =
+  | Lock of int list * int
+  | Sem of int * int
+  | Timed_sem of int * int
+  | Await of int
+  | Timed_await of int
+  | Alert_await of int
+  | Set_flag of int
+  | Produce of int
+  | Consume of int
+  | Alert_peer of int
+  | Poll_alert
+  | Interrupt_v of int
+  | Yield
+  | Work of int
+
+type t = {
+  mutexes : int;
+  sems : int;
+  flags : int;
+  tokens : int;
+  irqs : int;
+  threads : op list list;
+  main : op list;
+}
+
+let all_ops p = p.main @ List.concat p.threads
+
+let size p = List.length p.main + List.fold_left (fun a t -> a + List.length t) 0 p.threads
+
+let op_weight = function
+  | Lock (ms, w) -> List.length ms + w
+  | Sem (_, w) -> 1 + w
+  | Timed_sem (_, patience) -> 1 + (patience / 50)
+  | Work w -> w
+  | Await _ | Timed_await _ | Alert_await _ | Set_flag _ | Produce _
+  | Consume _ | Alert_peer _ | Poll_alert | Interrupt_v _ | Yield -> 1
+
+let weight p = List.fold_left (fun a o -> a + op_weight o) 0 (all_ops p)
+
+let needs p =
+  let alerts = ref false and timeouts = ref false and irqs = ref false in
+  List.iter
+    (function
+      | Alert_await _ | Alert_peer _ | Poll_alert -> alerts := true
+      | Timed_sem _ | Timed_await _ -> timeouts := true
+      | Interrupt_v _ -> irqs := true
+      | _ -> ())
+    (all_ops p);
+  (if !alerts then [ Wl.Alerts ] else [])
+  @ (if !timeouts then [ Wl.Timeouts ] else [])
+  @ if !irqs then [ Wl.Interrupts ] else []
+
+(* ---- canonicalization ---- *)
+
+(* Renumber each object class densely in first-use order and drop the
+   rest; clamp worker references.  [map_ops] rebuilds every op list with
+   a per-class renaming table. *)
+let canonicalize p =
+  let table () = Hashtbl.create 8 in
+  let mutexes = table () and sems = table () and flags = table () in
+  let tokens = table () and irqs = table () in
+  let look tbl i =
+    match Hashtbl.find_opt tbl i with
+    | Some j -> j
+    | None ->
+      let j = Hashtbl.length tbl in
+      Hashtbl.add tbl i j;
+      j
+  in
+  let nworkers = List.length p.threads in
+  let map_op o =
+    match o with
+    | Lock (ms, w) -> Lock (List.map (look mutexes) ms, w)
+    | Sem (s, w) -> Sem (look sems s, w)
+    | Timed_sem (s, patience) -> Timed_sem (look sems s, patience)
+    | Await f -> Await (look flags f)
+    | Timed_await f -> Timed_await (look flags f)
+    | Alert_await f -> Alert_await (look flags f)
+    | Set_flag f -> Set_flag (look flags f)
+    | Produce t -> Produce (look tokens t)
+    | Consume t -> Consume (look tokens t)
+    | Alert_peer w -> Alert_peer (if nworkers = 0 then 0 else w mod nworkers)
+    | Interrupt_v i -> Interrupt_v (look irqs i)
+    | (Poll_alert | Yield | Work _) as o -> o
+  in
+  (* Workers first, in order, then main: renaming is deterministic in
+     the program text alone. *)
+  let threads = List.map (List.map map_op) p.threads in
+  let main = List.map map_op p.main in
+  {
+    mutexes = Hashtbl.length mutexes;
+    sems = Hashtbl.length sems;
+    flags = Hashtbl.length flags;
+    tokens = Hashtbl.length tokens;
+    irqs = Hashtbl.length irqs;
+    threads;
+    main;
+  }
+
+(* ---- op codec ---- *)
+
+let encode_op = function
+  | Lock (ms, w) ->
+    Printf.sprintf "lock %s %d" (String.concat "," (List.map string_of_int ms)) w
+  | Sem (s, w) -> Printf.sprintf "sem %d %d" s w
+  | Timed_sem (s, patience) -> Printf.sprintf "timedsem %d %d" s patience
+  | Await f -> Printf.sprintf "await %d" f
+  | Timed_await f -> Printf.sprintf "timedawait %d" f
+  | Alert_await f -> Printf.sprintf "alertawait %d" f
+  | Set_flag f -> Printf.sprintf "setflag %d" f
+  | Produce t -> Printf.sprintf "produce %d" t
+  | Consume t -> Printf.sprintf "consume %d" t
+  | Alert_peer w -> Printf.sprintf "alert %d" w
+  | Poll_alert -> "poll"
+  | Interrupt_v i -> Printf.sprintf "irqv %d" i
+  | Yield -> "yield"
+  | Work w -> Printf.sprintf "work %d" w
+
+let decode_op s =
+  let int = int_of_string_opt in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "lock"; ms; w ] -> (
+    let idxs =
+      List.map int_of_string_opt (String.split_on_char ',' ms)
+    in
+    match (List.for_all Option.is_some idxs, int w) with
+    | true, Some w -> Some (Lock (List.map Option.get idxs, w))
+    | _ -> None)
+  | [ "sem"; s; w ] -> (
+    match (int s, int w) with
+    | Some s, Some w -> Some (Sem (s, w))
+    | _ -> None)
+  | [ "timedsem"; s; patience ] -> (
+    match (int s, int patience) with
+    | Some s, Some p -> Some (Timed_sem (s, p))
+    | _ -> None)
+  | [ "await"; f ] -> Option.map (fun f -> Await f) (int f)
+  | [ "timedawait"; f ] -> Option.map (fun f -> Timed_await f) (int f)
+  | [ "alertawait"; f ] -> Option.map (fun f -> Alert_await f) (int f)
+  | [ "setflag"; f ] -> Option.map (fun f -> Set_flag f) (int f)
+  | [ "produce"; t ] -> Option.map (fun t -> Produce t) (int t)
+  | [ "consume"; t ] -> Option.map (fun t -> Consume t) (int t)
+  | [ "alert"; w ] -> Option.map (fun w -> Alert_peer w) (int w)
+  | [ "poll" ] -> Some Poll_alert
+  | [ "irqv"; i ] -> Option.map (fun i -> Interrupt_v i) (int i)
+  | [ "yield" ] -> Some Yield
+  | [ "work"; w ] -> Option.map (fun w -> Work w) (int w)
+  | _ -> None
+
+let render_ops ops = String.concat "; " (List.map encode_op ops)
+
+let render ppf p =
+  Format.fprintf ppf
+    "@[<v>objects: %d mutex(es), %d sem(s), %d flag(s), %d token(s), %d irq(s)@,"
+    p.mutexes p.sems p.flags p.tokens p.irqs;
+  List.iteri
+    (fun i ops -> Format.fprintf ppf "worker %d: %s@," i (render_ops ops))
+    p.threads;
+  Format.fprintf ppf "main: %s@]" (render_ops p.main)
+
+(* ---- lifting into Workload.t ---- *)
+
+(* Default patience for the Mesa-loop TimedWait: long enough that expiry
+   re-loops stay rare, short enough that a missing Set_flag cannot spin
+   the step budget away before the deadlock detector would have fired. *)
+let await_patience = 150
+
+let body p (module S : Sync_intf.SYNC) =
+  let mutexes = Array.init p.mutexes (fun _ -> S.mutex ()) in
+  let sems = Array.init p.sems (fun _ -> S.semaphore ()) in
+  let flag_m = Array.init p.flags (fun _ -> S.mutex ()) in
+  let flag_c = Array.init p.flags (fun _ -> S.condition ()) in
+  let flag_v = Array.init p.flags (fun _ -> ref false) in
+  let tok_m = Array.init p.tokens (fun _ -> S.mutex ()) in
+  let tok_c = Array.init p.tokens (fun _ -> S.condition ()) in
+  let tok_v = Array.init p.tokens (fun _ -> ref 0) in
+  let irq =
+    Array.init p.irqs (fun _ ->
+        let s = S.semaphore () in
+        (* interrupt semaphores start unavailable: P blocks until the
+           handler's V *)
+        S.p s;
+        s)
+  in
+  let nworkers = List.length p.threads in
+  let workers = Array.make (max nworkers 1) None in
+  let work n =
+    for _ = 1 to n do
+      S.yield ()
+    done
+  in
+  let exec op =
+    match op with
+    | Lock (ms, w) ->
+      let rec nest = function
+        | [] -> work w
+        | i :: rest -> S.with_lock mutexes.(i) (fun () -> nest rest)
+      in
+      nest ms
+    | Sem (s, w) ->
+      S.p sems.(s);
+      work w;
+      S.v sems.(s)
+    | Timed_sem (s, patience) -> (
+      match S.timed_p sems.(s) ~timeout:patience with
+      | () -> S.v sems.(s)
+      | exception Sync_intf.Timed_out -> ())
+    | Await f ->
+      S.with_lock flag_m.(f) (fun () ->
+          while not !(flag_v.(f)) do
+            S.wait flag_m.(f) flag_c.(f)
+          done)
+    | Timed_await f ->
+      S.with_lock flag_m.(f) (fun () ->
+          while not !(flag_v.(f)) do
+            match S.timed_wait flag_m.(f) flag_c.(f) ~timeout:await_patience with
+            | () -> ()
+            | exception Sync_intf.Timed_out -> ()
+          done)
+    | Alert_await f ->
+      S.with_lock flag_m.(f) (fun () ->
+          let alerted = ref false in
+          while not (!(flag_v.(f)) || !alerted) do
+            match S.alert_wait flag_m.(f) flag_c.(f) with
+            | () -> ()
+            | exception Sync_intf.Alerted -> alerted := true
+          done)
+    | Set_flag f ->
+      S.with_lock flag_m.(f) (fun () ->
+          flag_v.(f) := true;
+          S.broadcast flag_c.(f))
+    | Produce t ->
+      S.with_lock tok_m.(t) (fun () ->
+          incr tok_v.(t);
+          S.signal tok_c.(t))
+    | Consume t ->
+      S.with_lock tok_m.(t) (fun () ->
+          while !(tok_v.(t)) = 0 do
+            S.wait tok_m.(t) tok_c.(t)
+          done;
+          decr tok_v.(t))
+    | Alert_peer w ->
+      if w < nworkers then
+        (match workers.(w) with Some th -> S.alert th | None -> ())
+    | Poll_alert -> ignore (S.test_alert ())
+    | Interrupt_v i ->
+      ignore (Firefly.Machine.spawn_interrupt (fun () -> S.v irq.(i)));
+      S.p irq.(i)
+    | Yield -> S.yield ()
+    | Work n -> work n
+  in
+  let interp ops () = List.iter exec ops in
+  List.iteri (fun i ops -> workers.(i) <- Some (S.fork (interp ops))) p.threads;
+  interp p.main ();
+  Array.iter (function Some t -> S.join t | None -> ()) workers;
+  "ok"
+
+let to_workload ~name p =
+  {
+    Wl.name;
+    description =
+      Printf.sprintf "generated: %d worker(s), %d ops" (List.length p.threads)
+        (size p);
+    needs = needs p;
+    body = body p;
+  }

@@ -85,8 +85,8 @@ let disabled_is_identical () =
 
 let plans_deterministic () =
   for plan_id = 0 to 13 do
-    let a = Plan.generate ~plan_id in
-    let b = Plan.generate ~plan_id in
+    let a = Plan.generate ~plan_id () in
+    let b = Plan.generate ~plan_id () in
     Alcotest.(check string)
       (Printf.sprintf "plan %d reproducible" plan_id)
       (Plan.describe a) (Plan.describe b);
@@ -139,7 +139,7 @@ let chaos_deterministic () =
 let dropped_wakeup_diagnosed () =
   let r =
     Cc.chaos_one (backend "sim") (workload "condvar") ~seed:0
-      (Plan.generate ~plan_id:1)
+      (Plan.generate ~plan_id:1 ())
   in
   Alcotest.(check string) "class" "diagnosed" (Cc.class_name r.Cc.c_class);
   (match r.Cc.c_outcome.Engine.verdict with
@@ -166,7 +166,7 @@ let dropped_wakeup_diagnosed () =
 let crash_stop_diagnosed () =
   let r =
     Cc.chaos_one (backend "sim") (workload "mutex") ~seed:0
-      (Plan.generate ~plan_id:5)
+      (Plan.generate ~plan_id:5 ())
   in
   Alcotest.(check string) "class" "diagnosed" (Cc.class_name r.Cc.c_class);
   let failures = M.failures r.Cc.c_outcome.Engine.machine in
@@ -253,7 +253,7 @@ let alert_under_delayed_wakeups bname () =
   let b = backend bname in
   List.iter
     (fun plan_id ->
-      let plan = Plan.generate ~plan_id in
+      let plan = Plan.generate ~plan_id () in
       for seed = 0 to 9 do
         let r = Cc.chaos_one b alert_cancel_wl ~seed plan in
         if r.Cc.c_class <> Cc.Conformant then

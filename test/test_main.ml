@@ -34,6 +34,7 @@ let () =
       Test_races.suite;
       Test_timed.suite;
       Test_swarm.suite;
+      Test_gen.suite;
       Test_obs.suite;
       Test_harness.suite;
       Test_failures.suite;

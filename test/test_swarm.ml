@@ -1,130 +1,70 @@
-(* Swarm testing: randomly generated client programs run on the simulator
-   under random schedules; every run must terminate cleanly and its trace
-   must conform to the formal specification.
+(* Swarm testing: randomly generated client programs run under random
+   schedules; every run must terminate cleanly and its trace must conform
+   to the formal specification.
 
-   Generated programs are deadlock-free by construction: nested locks are
-   always taken in global object order, semaphore P/V pairs are properly
-   bracketed, alerts are fire-and-forget.  Condition variables are
-   exercised by the second property with balanced producer/consumer
-   counts. *)
+   Generation lives in lib/gen (the generative chaos engine): programs
+   are drawn per-policy over random object graphs — ordered lock subsets,
+   bracketed semaphores, condition flags and producer/consumer tokens
+   with root coverage, alert handshakes, interrupt-context V — and lifted
+   into backend-generic workloads, so the same swarm drives every
+   conforming backend: the simulator, the cooperative uniprocessor, and
+   the OCaml 5 multicore implementation on real domains. *)
 
 module Tid = Threads_util.Tid
+module Rng = Threads_util.Rng
+module Gen = Threads_gen
+module Bk = Threads_backend.Backend
 
-type op =
-  | Lock_region of int list * int  (* sorted mutex indices, work ticks *)
-  | Sem_region of int * int
-  | Alert_peer of int  (* worker index *)
-  | Poll_alert
-  | Yield
-  | Work of int
+let backend name =
+  match Bk.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "backend %S not registered" name
 
-let gen_op nworkers =
-  let open QCheck.Gen in
-  frequency
-    [
-      ( 4,
-        map2
-          (fun subset ticks ->
-            Lock_region (List.sort_uniq compare subset, 1 + ticks))
-          (list_size (int_range 1 2) (int_range 0 2))
-          (int_range 0 5) );
-      (2, map2 (fun s t -> Sem_region (s, 1 + t)) (int_range 0 1) (int_range 0 4));
-      (1, map (fun w -> Alert_peer w) (int_range 0 (nworkers - 1)));
-      (1, return Poll_alert);
-      (1, return Yield);
-      (2, map (fun t -> Work (1 + t)) (int_range 0 4));
-    ]
-
-let gen_workload =
-  let open QCheck.Gen in
-  int_range 2 4 >>= fun nworkers ->
-  list_size (int_range 1 6) (gen_op nworkers) |> list_repeat nworkers
-  >>= fun progs ->
-  int_range 0 999 >>= fun seed -> return (nworkers, progs, seed)
-
-let print_workload (nworkers, progs, seed) =
-  let op_str = function
-    | Lock_region (ms, t) ->
-      Printf.sprintf "lock%s/%d"
-        (String.concat "" (List.map string_of_int ms))
-        t
-    | Sem_region (s, t) -> Printf.sprintf "sem%d/%d" s t
-    | Alert_peer w -> Printf.sprintf "alert%d" w
-    | Poll_alert -> "poll"
-    | Yield -> "yield"
-    | Work t -> Printf.sprintf "work%d" t
+(* One QCheck case = one generation seed; program, schedule seed and
+   policy all derive from it deterministically, so a failure's printed
+   seed fully reproduces the run. *)
+let scenario_of ~policies b base =
+  let rng = Rng.cell ~base ~index:0 in
+  let policy = policies.(base mod Array.length policies) in
+  let program =
+    Gen.Generate.program ~policy ~features:b.Bk.supports rng
   in
-  Printf.sprintf "workers=%d seed=%d [%s]" nworkers seed
-    (String.concat " | "
-       (List.map (fun p -> String.concat ";" (List.map op_str p)) progs))
+  {
+    Gen.Oracle.program;
+    policy;
+    seed = Rng.int rng 1_000_000;
+    plan = None;
+  }
 
-let run_workload runner (nworkers, progs, seed) =
-  let report =
-    runner ~seed (fun sync ->
-        let module S =
-          (val sync : Taos_threads.Sync_intf.SYNC with type thread = Tid.t)
-        in
-        let mutexes = Array.init 3 (fun _ -> S.mutex ()) in
-        let sems = Array.init 2 (fun _ -> S.semaphore ()) in
-        let workers = Array.make nworkers None in
-        let interp prog () =
-          List.iter
-            (fun op ->
-              match op with
-              | Lock_region (ms, ticks) ->
-                let rec nest = function
-                  | [] -> Firefly.Machine.Ops.tick ticks
-                  | i :: rest -> S.with_lock mutexes.(i) (fun () -> nest rest)
-                in
-                nest ms
-              | Sem_region (s, ticks) ->
-                S.p sems.(s);
-                Firefly.Machine.Ops.tick ticks;
-                S.v sems.(s)
-              | Alert_peer w -> (
-                match workers.(w) with
-                | Some t -> S.alert t
-                | None -> ())
-              | Poll_alert -> ignore (S.test_alert ())
-              | Yield -> S.yield ()
-              | Work t -> Firefly.Machine.Ops.tick t)
-            prog
-        in
-        List.iteri
-          (fun i prog -> workers.(i) <- Some (S.fork (interp prog)))
-          progs;
-        Array.iter (function Some t -> S.join t | None -> ()) workers;
-        (* drain any alert aimed at the main thread's id by accident *)
-        ignore (S.test_alert ()))
-  in
-  (match report.Firefly.Interleave.verdict with
-  | Firefly.Interleave.Completed -> ()
-  | Firefly.Interleave.Deadlock _ -> failwith "deadlock"
-  | Firefly.Interleave.Step_limit -> failwith "step limit");
-  (match Firefly.Machine.failures report.Firefly.Interleave.machine with
-  | [] -> ()
-  | (tid, e) :: _ ->
-    failwith (Printf.sprintf "t%d: %s" tid (Printexc.to_string e)));
-  let rep =
-    Threads_model.Conformance.check Spec_core.Threads_interface.final
-      (Firefly.Machine.trace report.Firefly.Interleave.machine)
-  in
-  if not (Threads_model.Conformance.ok rep) then
-    failwith
-      (Format.asprintf "%a" Threads_model.Conformance.pp_report rep);
-  true
+let swarm_prop ?policies:(ps = Gen.Generate.[| Safe; Free; Irq |]) name
+    ~count =
+  let b = backend name in
+  let scenario_of = scenario_of ~policies:ps in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random programs conform (%s)" name)
+    ~count
+    (QCheck.make
+       QCheck.Gen.(int_range 0 1_000_000)
+       ~print:(fun base ->
+         let s = scenario_of b base in
+         Format.asprintf "base=%d policy=%s seed=%d@.%a" base
+           (Gen.Generate.policy_name s.Gen.Oracle.policy)
+           s.Gen.Oracle.seed Gen.Prog.render s.Gen.Oracle.program))
+    (fun base ->
+      match Gen.Oracle.run b (scenario_of b base) with
+      | Gen.Oracle.Pass _ -> true
+      | Gen.Oracle.Fail (kind, detail) ->
+        QCheck.Test.fail_reportf "%s: %s (%s)" name
+          (Gen.Oracle.kind_name kind) detail)
 
-let prop_swarm_sim =
-  QCheck.Test.make ~name:"random programs conform (firefly)" ~count:120
-    (QCheck.make gen_workload ~print:print_workload)
-    (run_workload (fun ~seed body -> Taos_threads.Api.run ~seed body))
+let prop_swarm_sim = swarm_prop "sim" ~count:120
+let prop_swarm_uniproc = swarm_prop "uniproc" ~count:120
 
-let prop_swarm_uniproc =
-  QCheck.Test.make ~name:"random programs conform (uniproc)" ~count:120
-    (QCheck.make gen_workload ~print:print_workload)
-    (run_workload (fun ~seed body ->
-         Taos_threads.Uniproc.run ~seed ~strategy:(Firefly.Sched.random seed)
-           body))
+(* Real domains per run, and no deadlock detector on hardware: keep the
+   count modest and generate only deadlock-free-by-construction programs
+   (a Free-policy deadlock would hang the suite, not fail it). *)
+let prop_swarm_multicore =
+  swarm_prop "multicore" ~policies:[| Gen.Generate.Safe |] ~count:40
 
 (* Balanced producer/consumer with random parameters: conformance plus
    item accounting. *)
@@ -198,4 +138,10 @@ let prop_pc_sim =
 
 let suite =
   let q = QCheck_alcotest.to_alcotest in
-  ("swarm", [ q prop_swarm_sim; q prop_swarm_uniproc; q prop_pc_sim ])
+  ( "swarm",
+    [
+      q prop_swarm_sim;
+      q prop_swarm_uniproc;
+      q prop_swarm_multicore;
+      q prop_pc_sim;
+    ] )
